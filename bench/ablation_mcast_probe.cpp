@@ -1,0 +1,44 @@
+// §6 future work (2): "multicasting probes when the number of receivers
+// to be probed is greater than some threshold". With many receivers in
+// a low-loss network, the sender otherwise unicasts a probe storm at
+// every release stall.
+#include "bench_util.hpp"
+
+using namespace hrmc;
+using namespace hrmc::harness;
+using namespace hrmc::bench;
+
+namespace {
+
+RunResult run_one(int receivers, std::size_t threshold) {
+  Workload wl;
+  wl.file_bytes = 4 * kMiB;
+  wl.sink_read_rate_bps = kSimAppReadBps;
+  Scenario sc = test_case_scenario(1, receivers, 10e6, 256 << 10, wl,
+                                   kBenchSeed);
+  sc.proto.mcast_probe_threshold = threshold;
+  sc.time_limit = sim::seconds(3600);
+  return run_transfer(sc);
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation: multicast probes (future work #2)",
+         "LAN, 4 MB, 256K buffers; probes sent by the sender vs probes\n"
+         "processed by receivers (multicast probes fan out in the net)");
+  Table t({"receivers", "mode", "probes sent", "probes rcvd", "thr Mbps",
+           "complete-info %"});
+  for (int n : {10, 50, 100}) {
+    for (std::size_t threshold : {std::size_t{0}, std::size_t{5}}) {
+      RunResult r = run_one(n, threshold);
+      t.add_row({std::to_string(n),
+                 threshold == 0 ? "unicast" : "mcast>5",
+                 std::to_string(r.sender.probes_sent),
+                 std::to_string(r.receivers_total.probes_received),
+                 fmt(r.throughput_mbps, 2), fmt(r.complete_info_pct(), 1)});
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

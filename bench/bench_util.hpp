@@ -1,0 +1,27 @@
+// Shared plumbing for the fig* reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "harness/scenario.hpp"
+#include "harness/table.hpp"
+
+namespace hrmc::bench {
+
+inline void banner(const std::string& title, const std::string& detail) {
+  std::cout << "\n=== " << title << " ===\n" << detail << "\n\n";
+}
+
+/// Every run in the bench suite derives from this seed unless a binary
+/// takes one on the command line.
+inline constexpr std::uint64_t kBenchSeed = 20260706;
+
+inline constexpr std::uint64_t kMiB = 1024 * 1024;
+
+/// Paper's simulated application consumption rate (does not scale with
+/// the network; see DESIGN.md).
+inline constexpr double kSimAppReadBps = 64e6;
+
+}  // namespace hrmc::bench

@@ -1,0 +1,141 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the protocol
+// implementation: header codec, checksum, member-table lookup, NAK list
+// maintenance, sk_buff queues and the event scheduler.
+#include <benchmark/benchmark.h>
+
+#include "hrmc/member.hpp"
+#include "hrmc/nak_list.hpp"
+#include "hrmc/wire.hpp"
+#include "kern/checksum.hpp"
+#include "kern/skbuff.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace hrmc;
+
+void BM_HeaderWrite(benchmark::State& state) {
+  auto skb = kern::SkBuff::alloc(1460, 64);
+  skb->put(1460);
+  proto::Header h;
+  h.seq = 123456;
+  h.rate = 1'000'000;
+  h.length = 1460;
+  h.type = proto::PacketType::kData;
+  for (auto _ : state) {
+    write_header(*skb, h);
+    skb->pull(proto::Header::kSize);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1480);
+}
+BENCHMARK(BM_HeaderWrite);
+
+void BM_HeaderRead(benchmark::State& state) {
+  auto skb = kern::SkBuff::alloc(1460, 64);
+  skb->put(1460);
+  proto::Header h;
+  h.length = 1460;
+  h.type = proto::PacketType::kData;
+  write_header(*skb, h);
+  for (auto _ : state) {
+    auto parsed = proto::read_header(*skb);
+    benchmark::DoNotOptimize(parsed);
+    skb->push(proto::Header::kSize);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1480);
+}
+BENCHMARK(BM_HeaderRead);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  sim::Rng rng(1);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kern::internet_checksum(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1460)->Arg(9000);
+
+void BM_MemberLookup(benchmark::State& state) {
+  proto::MemberTable table;
+  const int n = static_cast<int>(state.range(0));
+  std::vector<net::Addr> addrs;
+  for (int i = 0; i < n; ++i) {
+    const net::Addr a = net::make_addr(10, 1, static_cast<unsigned>(i / 250),
+                                       static_cast<unsigned>(i % 250 + 1));
+    table.add(a, 1);
+    addrs.push_back(a);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(addrs[i++ % addrs.size()]));
+  }
+}
+BENCHMARK(BM_MemberLookup)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_MemberAllHave(benchmark::State& state) {
+  proto::MemberTable table;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) {
+    table.add(net::make_addr(10, 1, static_cast<unsigned>(i / 250),
+                             static_cast<unsigned>(i % 250 + 1)),
+              1000000);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.all_have(999999));
+  }
+}
+BENCHMARK(BM_MemberAllHave)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_NakListChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    proto::NakList l;
+    for (kern::Seq s = 0; s < 100; ++s) {
+      l.add_gap(s * 3000, s * 3000 + 1500, 0);
+    }
+    for (kern::Seq s = 0; s < 100; ++s) {
+      l.fill(s * 3000, s * 3000 + 1500);
+    }
+    benchmark::DoNotOptimize(l.empty());
+  }
+}
+BENCHMARK(BM_NakListChurn);
+
+void BM_SkBuffQueueFifo(benchmark::State& state) {
+  for (auto _ : state) {
+    kern::SkBuffQueue q;
+    for (int i = 0; i < 64; ++i) {
+      auto skb = kern::SkBuff::alloc(1460, 64);
+      skb->put(1460);
+      q.push_back(std::move(skb));
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop_front());
+  }
+}
+BENCHMARK(BM_SkBuffQueueFifo);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(sim::microseconds(i * 7 % 500), [&] { ++fired; });
+    }
+    sched.run_until();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_RngU64(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngU64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

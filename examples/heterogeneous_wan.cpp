@@ -1,0 +1,87 @@
+// Heterogeneous receivers: what hybrid reliability buys you.
+//
+// Runs the same 4 MB transfer to a mixed group (2 MAN + 2 WAN receivers,
+// the paper's Test-4/5 situation) twice: once with the original pure-NAK
+// RMC protocol and once with H-RMC. RMC may release buffered data that a
+// distant receiver still needs — surfacing NAK_ERR / stream errors —
+// while H-RMC holds the window until everyone has confirmed, at a small
+// cost in feedback traffic.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/scenario.hpp"
+#include "harness/table.hpp"
+
+using namespace hrmc;
+using namespace hrmc::harness;
+
+namespace {
+
+RunResult run_mode(proto::Mode mode, std::uint64_t seed) {
+  Workload wl;
+  wl.file_bytes = 4ull << 20;
+  Scenario sc;
+  sc.topo.network_bps = 10e6;
+  sc.topo.seed = seed;
+  sc.topo.groups = {net::group_b(2), net::group_c(2)};
+  sc.proto.mode = mode;
+  // Deliberately small buffers and a short hold: the regime where pure
+  // NAK reliability is most at risk on long paths.
+  sc.proto.sndbuf = 64 << 10;
+  sc.proto.rcvbuf = 64 << 10;
+  sc.proto.minbuf_rtts = 4;
+  sc.workload = wl;
+  sc.seed = seed;
+  sc.time_limit = sim::seconds(1800);
+  return run_transfer(sc);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("4 MB to 2 MAN + 2 WAN receivers, 64K buffers, short hold\n\n");
+  Table t({"metric", "RMC (pure NAK)", "H-RMC (hybrid)"});
+
+  // Aggregate across a few seeds so the RMC reliability gap, which is a
+  // race, has a chance to show itself.
+  std::uint64_t rmc_nakerr = 0, hrmc_nakerr = 0;
+  std::uint64_t rmc_skipped = 0, hrmc_skipped = 0;
+  int rmc_errors = 0, hrmc_errors = 0;
+  double rmc_thr = 0, hrmc_thr = 0;
+  std::uint64_t rmc_feedback = 0, hrmc_feedback = 0;
+  const int kSeeds = 5;
+  for (std::uint64_t s = 1; s <= kSeeds; ++s) {
+    RunResult rmc = run_mode(proto::Mode::kRmc, s);
+    RunResult hrmc = run_mode(proto::Mode::kHrmc, s);
+    rmc_nakerr += rmc.sender.nak_errs_sent;
+    hrmc_nakerr += hrmc.sender.nak_errs_sent;
+    rmc_errors += rmc.any_stream_error ? 1 : 0;
+    hrmc_errors += hrmc.any_stream_error ? 1 : 0;
+    rmc_thr += rmc.throughput_mbps / kSeeds;
+    hrmc_thr += hrmc.throughput_mbps / kSeeds;
+    rmc_feedback += rmc.receivers_total.naks_sent +
+                    rmc.receivers_total.updates_sent +
+                    rmc.receivers_total.rate_requests_sent;
+    hrmc_feedback += hrmc.receivers_total.naks_sent +
+                     hrmc.receivers_total.updates_sent +
+                     hrmc.receivers_total.rate_requests_sent;
+    for (const auto& pr : rmc.per_receiver) (void)pr;
+    rmc_skipped += rmc.sender.nak_errs_sent;      // unsatisfiable requests
+    hrmc_skipped += hrmc.sender.nak_errs_sent;
+  }
+
+  t.add_row({"avg throughput (Mbps)", fmt(rmc_thr, 2), fmt(hrmc_thr, 2)});
+  t.add_row({"NAK_ERRs (5 runs)", std::to_string(rmc_nakerr),
+             std::to_string(hrmc_nakerr)});
+  t.add_row({"runs with stream errors", std::to_string(rmc_errors),
+             std::to_string(hrmc_errors)});
+  t.add_row({"total feedback packets", std::to_string(rmc_feedback),
+             std::to_string(hrmc_feedback)});
+  t.print(std::cout);
+
+  std::printf(
+      "\nH-RMC guarantees delivery (zero NAK_ERRs by construction: the\n"
+      "window never advances past an unconfirmed receiver); RMC trades\n"
+      "that guarantee for less reverse traffic.\n");
+  return 0;
+}

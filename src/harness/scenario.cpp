@@ -1,0 +1,174 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "hrmc/receiver.hpp"
+#include "hrmc/sender.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hrmc::harness {
+
+namespace {
+constexpr net::Addr kGroupAddr = net::make_addr(224, 5, 5, 5);
+constexpr net::Port kGroupPort = 7500;
+}  // namespace
+
+RunResult run_transfer(const Scenario& sc) {
+  sim::Scheduler sched;
+  net::Topology topo(sched, sc.topo);
+
+  const net::Endpoint group{kGroupAddr, kGroupPort};
+
+  // Receivers and their applications.
+  std::vector<std::unique_ptr<proto::HrmcReceiver>> rcv_socks;
+  std::vector<std::unique_ptr<app::SinkApp>> sinks;
+  for (std::size_t i = 0; i < topo.receiver_count(); ++i) {
+    auto sock = std::make_unique<proto::HrmcReceiver>(
+        topo.receiver(i), sc.proto, group, topo.sender().addr());
+    app::SinkApp::Options opt;
+    opt.chunk = sc.workload.chunk;
+    opt.read_rate_bps = sc.workload.sink_read_rate_bps;
+    if (sc.workload.disk_sink) opt.disk = sc.workload.disk;
+    opt.seed = sim::substream_seed(sc.seed, "sink:" + std::to_string(i));
+    sinks.push_back(std::make_unique<app::SinkApp>(*sock, sched, opt));
+    sock->open();
+    rcv_socks.push_back(std::move(sock));
+  }
+
+  // Sender and its application.
+  proto::HrmcSender snd(topo.sender(), sc.proto, kGroupPort, group);
+  app::SourceApp::Options sopt;
+  sopt.total_bytes = sc.workload.file_bytes;
+  sopt.chunk = sc.workload.chunk;
+  if (sc.workload.disk_source) sopt.disk = sc.workload.disk;
+  sopt.seed = sim::substream_seed(sc.seed, "source");
+  app::SourceApp source(snd, sched, sopt);
+
+  sched.schedule_at(sc.sender_start, [&source] { source.start(); });
+
+  const auto all_receivers_complete = [&] {
+    return std::all_of(sinks.begin(), sinks.end(),
+                       [](const auto& s) { return s->stream_complete(); });
+  };
+  const auto done = [&] {
+    return all_receivers_complete() && snd.finished();
+  };
+
+  sched.run_while([&] { return !done(); }, sc.time_limit);
+
+  RunResult res;
+  res.completed = all_receivers_complete();
+  res.sender_finished = snd.finished();
+
+  sim::SimTime last_complete = sc.sender_start;
+  for (const auto& s : sinks) {
+    if (s->stream_complete()) {
+      last_complete = std::max(last_complete, s->complete_at());
+    }
+  }
+  res.elapsed = last_complete - sc.sender_start;
+  if (res.completed && res.elapsed > 0) {
+    res.throughput_mbps = static_cast<double>(sc.workload.file_bytes) * 8.0 /
+                          sim::to_seconds(res.elapsed) / 1e6;
+  }
+
+  res.sender = snd.stats();
+  for (std::size_t i = 0; i < rcv_socks.size(); ++i) {
+    const proto::ReceiverStats& rs = rcv_socks[i]->stats();
+    res.per_receiver.push_back(rs);
+    auto& t = res.receivers_total;
+    t.data_packets_received += rs.data_packets_received;
+    t.data_bytes_received += rs.data_bytes_received;
+    t.duplicate_packets += rs.duplicate_packets;
+    t.out_of_order_packets += rs.out_of_order_packets;
+    t.window_overflow_drops += rs.window_overflow_drops;
+    t.naks_sent += rs.naks_sent;
+    t.naks_suppressed += rs.naks_suppressed;
+    t.rate_requests_sent += rs.rate_requests_sent;
+    t.urgent_requests_sent += rs.urgent_requests_sent;
+    t.updates_sent += rs.updates_sent;
+    t.probes_received += rs.probes_received;
+    t.keepalives_received += rs.keepalives_received;
+    t.nak_errs_received += rs.nak_errs_received;
+    t.bytes_delivered += rs.bytes_delivered;
+    t.bad_packets += rs.bad_packets;
+    t.fec_packets_received += rs.fec_packets_received;
+    t.fec_recoveries += rs.fec_recoveries;
+    if (rcv_socks[i]->stream_error()) res.any_stream_error = true;
+    if (sinks[i]->verify_failed()) res.verify_ok = false;
+  }
+
+  res.sender_nic_tx_drops =
+      topo.sender().nic()->counters().get("tx_ring_drops");
+  res.router_loss_drops = topo.backbone().counters().get("loss_drops");
+  for (std::size_t g = 0; g < sc.topo.groups.size(); ++g) {
+    res.router_loss_drops +=
+        topo.group_router(g).counters().get("loss_drops");
+  }
+
+  // Quiesce every timer so the scheduler can be torn down cleanly.
+  snd.stop();
+  for (auto& r : rcv_socks) r->stop();
+  return res;
+}
+
+Scenario lan_scenario(int receivers, double network_bps,
+                      std::size_t kernel_buf, const Workload& wl,
+                      std::uint64_t seed) {
+  Scenario sc;
+  sc.name = "lan";
+  sc.topo.network_bps = network_bps;
+  sc.topo.seed = sim::substream_seed(seed, "topo");
+  sc.topo.groups = {net::group_a(receivers)};
+  sc.proto.sndbuf = kernel_buf;
+  sc.proto.rcvbuf = kernel_buf;
+  sc.workload = wl;
+  sc.seed = seed;
+  return sc;
+}
+
+Scenario test_case_scenario(int test_case, int n, double network_bps,
+                            std::size_t kernel_buf, const Workload& wl,
+                            std::uint64_t seed) {
+  Scenario sc;
+  sc.name = "test" + std::to_string(test_case);
+  sc.topo.network_bps = network_bps;
+  sc.topo.seed = sim::substream_seed(seed, "topo");
+  switch (test_case) {
+    case 1: sc.topo.groups = {net::group_a(n)}; break;
+    case 2: sc.topo.groups = {net::group_b(n)}; break;
+    case 3: sc.topo.groups = {net::group_c(n)}; break;
+    case 4:
+      sc.topo.groups = {net::group_b(n * 8 / 10),
+                        net::group_c(n - n * 8 / 10)};
+      break;
+    case 5:
+      sc.topo.groups = {net::group_b(n * 2 / 10),
+                        net::group_c(n - n * 2 / 10)};
+      break;
+    default:
+      throw std::invalid_argument("test_case must be 1..5 (Fig 14b)");
+  }
+  sc.proto.sndbuf = kernel_buf;
+  sc.proto.rcvbuf = kernel_buf;
+  sc.workload = wl;
+  sc.seed = seed;
+  return sc;
+}
+
+std::vector<std::size_t> buffer_sweep() {
+  return {64u << 10, 128u << 10, 256u << 10, 512u << 10, 1024u << 10};
+}
+
+std::vector<std::size_t> buffer_sweep_extended() {
+  return {64u << 10,  128u << 10,  256u << 10, 512u << 10,
+          1024u << 10, 2048u << 10, 4096u << 10};
+}
+
+std::string buf_label(std::size_t bytes) {
+  return std::to_string(bytes >> 10) + "K";
+}
+
+}  // namespace hrmc::harness

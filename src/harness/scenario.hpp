@@ -1,0 +1,93 @@
+// Experiment harness: declarative scenarios mapped onto the simulator.
+//
+// A Scenario is (network, protocol config, workload); run_transfer()
+// wires up one H-RMC sender plus one receiver per topology host, runs
+// the file transfer to completion, and returns every statistic the
+// paper's figures are built from.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/apps.hpp"
+#include "hrmc/config.hpp"
+#include "hrmc/stats.hpp"
+#include "net/topology.hpp"
+
+namespace hrmc::harness {
+
+struct Workload {
+  std::uint64_t file_bytes = 10 * 1024 * 1024;
+  bool disk_source = false;  ///< disk-to-disk test when both set
+  bool disk_sink = false;
+  /// Application read-rate cap in bits/s; 0 = always ready. The paper's
+  /// simulated application consumes at a rate that does not scale with
+  /// the network (§5.2) — 64 Mbps reproduces the 100 Mbps-era mismatch.
+  double sink_read_rate_bps = 0.0;
+  std::size_t chunk = 64 * 1024;
+  app::DiskConfig disk;
+};
+
+struct Scenario {
+  std::string name = "scenario";
+  net::TopologyConfig topo;
+  proto::Config proto;
+  Workload workload;
+  sim::SimTime time_limit = sim::seconds(3600);
+  /// Sender start offset; receivers open (and JOIN) at t = 0.
+  sim::SimTime sender_start = sim::milliseconds(100);
+  std::uint64_t seed = 1;
+};
+
+struct RunResult {
+  bool completed = false;  ///< every receiver got the stream in time
+  bool sender_finished = false;
+  sim::SimTime elapsed = 0;  ///< sender start -> last receiver complete
+  double throughput_mbps = 0.0;
+  bool verify_ok = true;
+  bool any_stream_error = false;
+
+  proto::SenderStats sender;
+  proto::ReceiverStats receivers_total;  ///< summed over receivers
+  std::vector<proto::ReceiverStats> per_receiver;
+
+  std::uint64_t sender_nic_tx_drops = 0;
+  std::uint64_t router_loss_drops = 0;
+
+  /// Fig 3 metric, percent.
+  [[nodiscard]] double complete_info_pct() const {
+    return sender.release_decisions == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(
+                             sender.releases_with_complete_info) /
+                     static_cast<double>(sender.release_decisions);
+  }
+};
+
+/// Runs one multicast file transfer described by `sc`.
+RunResult run_transfer(const Scenario& sc);
+
+// --- Scenario builders -------------------------------------------------
+
+/// All receivers on one LAN-like group A network: the experimental
+/// testbed of §5.1 (1-3 receivers, 10/100 Mbps Ethernet).
+Scenario lan_scenario(int receivers, double network_bps,
+                      std::size_t kernel_buf, const Workload& wl,
+                      std::uint64_t seed);
+
+/// The simulation study's Tests 1-5 (Fig 14b) with `n` receivers spread
+/// over characteristic groups A/B/C.
+Scenario test_case_scenario(int test_case, int n, double network_bps,
+                            std::size_t kernel_buf, const Workload& wl,
+                            std::uint64_t seed);
+
+/// The buffer sizes swept in every figure (bytes).
+std::vector<std::size_t> buffer_sweep();           ///< 64K .. 1024K
+std::vector<std::size_t> buffer_sweep_extended();  ///< 64K .. 4096K (Fig 13)
+
+/// Pretty size label ("256K").
+std::string buf_label(std::size_t bytes);
+
+}  // namespace hrmc::harness

@@ -1,0 +1,120 @@
+// Protocol tuning knobs.
+//
+// Defaults reproduce the configuration described in the paper; the
+// constants the paper does not pin down are documented in DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+
+#include "kern/jiffies.hpp"
+#include "kern/seq.hpp"
+#include "sim/time.hpp"
+
+namespace hrmc::proto {
+
+/// Reliability mode: the original RMC protocol (pure NAK, unconditional
+/// buffer release, NAK_ERR on unsatisfiable requests) or the H-RMC hybrid
+/// (membership + UPDATE + PROBE, release gated on complete information).
+enum class Mode {
+  kRmc,
+  kHrmc,
+};
+
+struct Config {
+  Mode mode = Mode::kHrmc;
+
+  // --- Buffers (the independent variable of most figures) ---
+  std::size_t sndbuf = 256 * 1024;  ///< send-side kernel buffer, bytes
+  std::size_t rcvbuf = 256 * 1024;  ///< receive-side kernel buffer, bytes
+
+  // --- Segmentation ---
+  /// Data bytes per DATA packet: 1500 MTU - 20 IP - 20 H-RMC.
+  std::size_t mss = 1460;
+
+  // --- Window-based flow control (§2) ---
+  /// Minimum number of RTTs a data packet stays buffered after its most
+  /// recent transmission before it may be released (paper: 10).
+  int minbuf_rtts = 10;
+
+  /// Receive-window headroom horizon for warning-region rate requests
+  /// (paper: 4 RTTs).
+  int warnbuf_rtts = 4;
+
+  /// Receive-window occupancy fractions where the warning / critical
+  /// regions begin (paper defines the regions, not the fractions).
+  double warn_fraction = 0.50;
+  double crit_fraction = 0.90;
+
+  // --- Rate-based flow control ---
+  /// Floor / restart transmission rate in bytes per second.
+  std::uint32_t min_rate = 16 * 1024;
+  /// Rate cap in bytes per second. Deliberately far above any simulated
+  /// link: the paper's sender is capped by buffers and feedback, not by
+  /// knowledge of link speed (this is what exposes NIC drops in Fig 13).
+  std::uint32_t max_rate = 125'000'000;
+  /// Jiffies between urgent-stop resumption checks; forward transmission
+  /// halts for 2 RTTs after an URG rate request (paper §2).
+  int urgent_stop_rtts = 2;
+
+  // --- Timers ---
+  /// Initial update period (paper: 50 jiffies = 0.5 s).
+  kern::Jiffies update_period_init = 50;
+  /// Dynamic update-period bounds (paper: ±1 jiffy per period, linear).
+  kern::Jiffies update_period_min = 2;
+  kern::Jiffies update_period_max = 200;
+  /// Fixed update period when false (the paper's "original design").
+  bool dynamic_update_timer = true;
+
+  /// Keepalive: exponential backoff from 2 jiffies up to 2 s (paper caps
+  /// at 2 s).
+  kern::Jiffies keepalive_init = 2;
+  kern::Jiffies keepalive_max = 200;
+
+  // --- RTT estimation ---
+  /// One jiffy: optimistic, so the first buffer-release attempts happen
+  /// early and the resulting PROBE responses seed the estimator with
+  /// real samples (a pessimistic initial value never gets corrected on a
+  /// loss-free network, freezing the protocol in 10×100 ms holds).
+  sim::SimTime initial_rtt = sim::milliseconds(10);
+  sim::SimTime min_rtt_clamp = sim::microseconds(200);
+
+  // --- NAK handling ---
+  /// Receiver NAK suppression: a pending NAK is not re-sent until this
+  /// many RTTs have elapsed (documented choice; paper says "appropriate
+  /// intervals").
+  double nak_resend_rtts = 1.5;
+  /// Sender collapses duplicate retransmission requests arriving within
+  /// this fraction of an RTT of a prior retransmission of the same data.
+  double retrans_dedup_rtts = 0.5;
+  /// Rate is halved at most once per RTT regardless of how many NAKs /
+  /// warnings arrive within it (standard multiplicative-decrease rule).
+  double rate_cut_holdoff_rtts = 1.0;
+
+  // --- Probing ---
+  /// Minimum spacing between PROBEs to the same receiver.
+  double probe_interval_rtts = 1.0;
+
+  // --- Optional extensions (§6 future work; off by default) ---
+  /// (1) Early probes: probe receivers when a packet is within this many
+  /// RTTs of its release time instead of at release time, avoiding
+  /// stop-and-wait with small buffers. 0 disables.
+  int early_probe_rtts = 0;
+  /// (2) Multicast the probe instead of unicasting when more than this
+  /// many receivers need probing. 0 disables.
+  std::size_t mcast_probe_threshold = 0;
+  /// (4) Forward error correction for lossy (wireless-like) paths: the
+  /// sender multicasts one XOR parity packet after every `fec_group`
+  /// full-MSS data packets; a receiver missing exactly one packet of a
+  /// group reconstructs it locally, without a NAK round trip. 0 disables.
+  std::size_t fec_group = 0;
+  /// Receiver-side payload cache for reconstruction, in FEC groups.
+  std::size_t fec_cache_groups = 4;
+
+  /// Initial sequence number of every stream (both endpoints assume it;
+  /// a production protocol would carry it in JOIN_RESPONSE). Configurable
+  /// so tests can start a stream just below the 2^32 wrap.
+  static constexpr kern::Seq kInitialSeq = 1;
+  kern::Seq initial_seq = kInitialSeq;
+};
+
+}  // namespace hrmc::proto

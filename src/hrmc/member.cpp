@@ -1,0 +1,93 @@
+#include "hrmc/member.hpp"
+
+namespace hrmc::proto {
+
+MemberTable::~MemberTable() {
+  McMember* m = head_;
+  while (m != nullptr) {
+    McMember* next = m->next;
+    delete m;
+    m = next;
+  }
+}
+
+McMember* MemberTable::add(net::Addr addr, kern::Seq initial_expected) {
+  if (McMember* existing = find(addr)) return existing;
+  auto* m = new McMember;
+  m->addr = addr;
+  m->next_expected = initial_expected;
+
+  // Push onto the global doubly linked list.
+  m->next = head_;
+  if (head_ != nullptr) head_->prev = m;
+  head_ = m;
+
+  // Push onto the hash chain.
+  const std::size_t b = bucket(addr);
+  m->hash_next = hash_[b];
+  hash_[b] = m;
+
+  ++size_;
+  return m;
+}
+
+bool MemberTable::remove(net::Addr addr) {
+  const std::size_t b = bucket(addr);
+  McMember** link = &hash_[b];
+  McMember* m = nullptr;
+  while (*link != nullptr) {
+    if ((*link)->addr == addr) {
+      m = *link;
+      *link = m->hash_next;
+      break;
+    }
+    link = &(*link)->hash_next;
+  }
+  if (m == nullptr) return false;
+
+  if (m->prev != nullptr) m->prev->next = m->next;
+  if (m->next != nullptr) m->next->prev = m->prev;
+  if (head_ == m) head_ = m->next;
+
+  delete m;
+  --size_;
+  return true;
+}
+
+McMember* MemberTable::find(net::Addr addr) {
+  for (McMember* m = hash_[bucket(addr)]; m != nullptr; m = m->hash_next) {
+    if (m->addr == addr) return m;
+  }
+  return nullptr;
+}
+
+const McMember* MemberTable::find(net::Addr addr) const {
+  return const_cast<MemberTable*>(this)->find(addr);
+}
+
+void MemberTable::for_each(const std::function<void(McMember&)>& fn) {
+  for (McMember* m = head_; m != nullptr; m = m->next) fn(*m);
+}
+
+void MemberTable::for_each(
+    const std::function<void(const McMember&)>& fn) const {
+  for (const McMember* m = head_; m != nullptr; m = m->next) fn(*m);
+}
+
+kern::Seq MemberTable::min_next_expected(kern::Seq fallback) const {
+  if (head_ == nullptr) return fallback;
+  kern::Seq lo = head_->next_expected;
+  for (const McMember* m = head_->next; m != nullptr; m = m->next) {
+    lo = kern::seq_min(lo, m->next_expected);
+  }
+  return lo;
+}
+
+bool MemberTable::all_have(kern::Seq seq) const {
+  for (const McMember* m = head_; m != nullptr; m = m->next) {
+    if (kern::seq_before(m->next_expected, seq)) return false;
+  }
+  return true;
+}
+
+}  // namespace hrmc::proto

@@ -1,0 +1,92 @@
+// Group-membership state at the sender.
+//
+// The paper (§3, "Membership Maintenance"): membership is kept "in the
+// form of a doubly linked list as well as a hashed list of all the
+// receivers", and per receiver the sender stores only the unicast IP
+// address and the next sequence number that receiver is expecting —
+// refreshed by every NAK, rate request, and UPDATE that arrives. We keep
+// the same structure: an intrusive doubly-linked list threading all
+// members (for full scans at buffer-release time) plus hash chaining by
+// address (for O(1) feedback processing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "kern/seq.hpp"
+#include "net/addr.hpp"
+#include "sim/time.hpp"
+
+namespace hrmc::proto {
+
+/// Per-receiver record (struct mc_member in the driver).
+struct McMember {
+  net::Addr addr = 0;
+  /// Next byte this receiver expects, as most recently reported. The
+  /// sender knows the receiver holds everything before this.
+  kern::Seq next_expected = 0;
+  /// True once any feedback has arrived from this receiver; before that
+  /// `next_expected` is only an optimistic initial value.
+  bool heard_from = false;
+  sim::SimTime last_heard = 0;
+  /// Last time a PROBE was unicast to this member (probe pacing).
+  sim::SimTime last_probed = -1;
+  /// Sequence the outstanding probe asked about; 0 when none.
+  kern::Seq probe_seq = 0;
+
+  // Intrusive links.
+  McMember* next = nullptr;        ///< doubly linked list of all members
+  McMember* prev = nullptr;
+  McMember* hash_next = nullptr;   ///< hash chain
+};
+
+/// RMC_HTABLE_SIZE in the driver.
+inline constexpr std::size_t kHashTableSize = 64;
+
+class MemberTable {
+ public:
+  MemberTable() = default;
+  ~MemberTable();
+  MemberTable(const MemberTable&) = delete;
+  MemberTable& operator=(const MemberTable&) = delete;
+
+  /// Adds a member (add_member in the driver). Returns the record; if the
+  /// address is already present, returns the existing record untouched.
+  McMember* add(net::Addr addr, kern::Seq initial_expected);
+
+  /// Removes a member (rm_member). Returns true if it was present.
+  bool remove(net::Addr addr);
+
+  /// O(1) lookup by receiver address.
+  [[nodiscard]] McMember* find(net::Addr addr);
+  [[nodiscard]] const McMember* find(net::Addr addr) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Visits every member in list order; the visitor may not add/remove.
+  void for_each(const std::function<void(McMember&)>& fn);
+  void for_each(const std::function<void(const McMember&)>& fn) const;
+
+  /// Smallest next_expected over all members, i.e. the stream position
+  /// the slowest (as far as the sender knows) receiver has reached.
+  /// Returns `fallback` when the table is empty.
+  [[nodiscard]] kern::Seq min_next_expected(kern::Seq fallback) const;
+
+  /// True if every member is known to have received all bytes before
+  /// `seq` (the release-safety predicate of §3, "Probe Messages").
+  [[nodiscard]] bool all_have(kern::Seq seq) const;
+
+ private:
+  static std::size_t bucket(net::Addr addr) {
+    // Knuth multiplicative hash; low bits of addr are the host number.
+    return (addr * 2654435761u) >> 26 & (kHashTableSize - 1);
+  }
+
+  McMember* head_ = nullptr;  ///< doubly linked list of all members
+  McMember* hash_[kHashTableSize] = {};
+  std::size_t size_ = 0;
+};
+
+}  // namespace hrmc::proto

@@ -1,0 +1,57 @@
+// Pending-NAK list with local suppression (receiver side).
+//
+// When the Main Packet Processor detects a gap it records the missing
+// range here; a NAK goes out immediately for newly discovered bytes, but
+// re-sends for a still-missing range are suppressed until the NAK Manager
+// (nak_timer) decides the sender has had "ample opportunity to respond"
+// (§2, "NAK-Based Reliability").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kern/seq.hpp"
+#include "sim/time.hpp"
+
+namespace hrmc::proto {
+
+struct NakRange {
+  kern::Seq from = 0;  ///< first missing byte
+  kern::Seq to = 0;    ///< one past the last missing byte
+  sim::SimTime last_sent = 0;
+  int sends = 0;
+};
+
+class NakList {
+ public:
+  /// Records that [from, to) is missing. Ranges already tracked are left
+  /// with their suppression clock intact; genuinely new bytes are
+  /// returned (possibly split across several ranges) so the caller can
+  /// NAK them immediately.
+  std::vector<NakRange> add_gap(kern::Seq from, kern::Seq to,
+                                sim::SimTime now);
+
+  /// Data [from, to) arrived: trims or removes overlapping ranges.
+  void fill(kern::Seq from, kern::Seq to);
+
+  /// Everything before `seq` is in hand: drops satisfied ranges.
+  void ack_through(kern::Seq seq);
+
+  /// Ranges whose suppression interval has expired; their clocks are
+  /// restarted. The NAK Manager re-sends these.
+  std::vector<NakRange> due(sim::SimTime now, sim::SimTime interval);
+
+  [[nodiscard]] bool empty() const { return ranges_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ranges_.size(); }
+  [[nodiscard]] const std::vector<NakRange>& ranges() const { return ranges_; }
+
+  /// Earliest instant any range becomes due again (for timer arming);
+  /// kTimeInfinity when empty.
+  [[nodiscard]] sim::SimTime next_due(sim::SimTime interval) const;
+
+ private:
+  // Kept sorted by `from`; ranges never overlap.
+  std::vector<NakRange> ranges_;
+};
+
+}  // namespace hrmc::proto

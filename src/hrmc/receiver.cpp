@@ -1,0 +1,607 @@
+#include "hrmc/receiver.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hrmc::proto {
+
+using kern::Seq;
+using kern::seq_after;
+using kern::seq_after_eq;
+using kern::seq_before;
+using kern::seq_before_eq;
+using kern::seq_diff;
+using kern::seq_max;
+using kern::seq_min;
+
+namespace {
+constexpr int kMaxJoinTries = 20;
+constexpr int kMaxLeaveTries = 10;
+constexpr kern::Jiffies kJoinRetryJiffies = 50;  // 0.5 s
+}  // namespace
+
+HrmcReceiver::HrmcReceiver(net::Host& host, const Config& cfg,
+                           net::Endpoint group, net::Addr sender_hint)
+    : host_(host),
+      cfg_(cfg),
+      group_(group),
+      sender_addr_(sender_hint),
+      rtt_(cfg.initial_rtt, cfg.min_rtt_clamp),
+      nak_timer_(host.scheduler(), [this] { nak_timer_fire(); }),
+      update_timer_(host.scheduler(), [this] { update_timer_fire(); }),
+      join_timer_(host.scheduler(), [this] { join_timer_fire(); }),
+      update_period_(cfg.update_period_init) {
+  rcv_wnd_ = rcv_nxt_ = cfg_.initial_seq;
+}
+
+HrmcReceiver::~HrmcReceiver() {
+  host_.unregister_transport(kIpProtoHrmc);
+}
+
+void HrmcReceiver::open() {
+  host_.register_transport(kIpProtoHrmc, this);
+  host_.join_group(group_.addr);
+  if (sender_addr_ != 0) send_join();
+}
+
+void HrmcReceiver::close() {
+  if (join_state_ == JoinState::kLeaving || join_state_ == JoinState::kLeft) {
+    return;
+  }
+  host_.leave_group(group_.addr);
+  if (sender_addr_ != 0) {
+    join_state_ = JoinState::kLeaving;
+    leave_tries_ = 0;
+    send_leave();
+  } else {
+    join_state_ = JoinState::kLeft;
+  }
+  update_timer_.del_timer();
+  nak_timer_.del_timer();
+}
+
+void HrmcReceiver::stop() {
+  nak_timer_.del_timer();
+  update_timer_.del_timer();
+  join_timer_.del_timer();
+}
+
+// --------------------------------------------------------------------
+// Application interface (hrmc_recvmsg)
+// --------------------------------------------------------------------
+
+std::size_t HrmcReceiver::recv(std::span<std::uint8_t> out) {
+  std::size_t copied = 0;
+  while (copied < out.size() && !receive_queue_.empty()) {
+    const kern::SkBuffPtr& front = receive_queue_.front();
+    const std::size_t take =
+        std::min(out.size() - copied, front->size());
+    std::memcpy(out.data() + copied, front->data(), take);
+    copied += take;
+    if (take == front->size()) {
+      receive_queue_.pop_front();
+    } else {
+      // Partial read: consume from the front of the segment. Adjust the
+      // queue's byte accounting by re-inserting the trimmed buffer.
+      kern::SkBuffPtr seg = receive_queue_.pop_front();
+      seg->pull(take);
+      receive_queue_.push_front(std::move(seg));
+    }
+  }
+  rcv_wnd_ += static_cast<Seq>(copied);
+  stats_.bytes_delivered += copied;
+  return copied;
+}
+
+// --------------------------------------------------------------------
+// Packet reception
+// --------------------------------------------------------------------
+
+void HrmcReceiver::rx(kern::SkBuffPtr skb) {
+  auto h = read_header(*skb);
+  if (!h || h->dport != group_.port) {
+    stats_.bad_packets++;
+    return;
+  }
+  // Learn the sender's unicast address from its first packet; the JOIN
+  // goes out "in response to the first data packet" (§2).
+  if (sender_addr_ == 0 && !net::is_multicast(skb->saddr)) {
+    sender_addr_ = skb->saddr;
+  }
+  if (join_state_ == JoinState::kIdle && sender_addr_ != 0 &&
+      h->type == PacketType::kData) {
+    send_join();
+  }
+
+  switch (h->type) {
+    case PacketType::kData: process_data(*h, std::move(skb)); break;
+    case PacketType::kFec: process_fec(*h, std::move(skb)); break;
+    case PacketType::kProbe: process_probe(*h); break;
+    case PacketType::kKeepalive: process_keepalive(*h); break;
+    case PacketType::kJoinResponse: process_join_response(*h); break;
+    case PacketType::kLeaveResponse: process_leave_response(*h); break;
+    case PacketType::kNakErr: process_nak_err(*h); break;
+    default:
+      stats_.bad_packets++;
+      break;
+  }
+}
+
+void HrmcReceiver::process_data(const Header& h, kern::SkBuffPtr skb) {
+  if (skb->size() != h.length) {
+    stats_.bad_packets++;
+    return;
+  }
+  stats_.data_packets_received++;
+  stats_.data_bytes_received += h.length;
+  last_adv_rate_ = h.rate;
+  const sim::SimTime now = host_.scheduler().now();
+  if (last_data_at_ >= 0) {
+    const sim::SimTime gap = now - last_data_at_;
+    interarrival_ =
+        interarrival_ == 0 ? gap : interarrival_ + (gap - interarrival_) / 8;
+  }
+  last_data_at_ = now;
+
+  Seq begin = h.seq;
+  const Seq end = h.seq + h.length;
+  if (h.fin) fin_seq_ = end;
+
+  // FEC extension: remember full-MSS payloads so a later parity packet
+  // can reconstruct a lost sibling.
+  if (cfg_.fec_group > 0 && h.length == cfg_.mss) {
+    fec_cache_store(begin, skb->bytes());
+  }
+
+  // Entirely old data: duplicate (a retransmission we no longer need).
+  if (seq_before_eq(end, rcv_nxt_)) {
+    stats_.duplicate_packets++;
+    return;
+  }
+
+  // R4 check (Figure 2): data beyond the receive window cannot be
+  // buffered at all.
+  if (seq_diff(rcv_wnd_, end) > static_cast<std::int32_t>(cfg_.rcvbuf)) {
+    stats_.window_overflow_drops++;
+    return;
+  }
+  // Buffer-occupancy check: out-of-order and queued data consume real
+  // receive-buffer memory; a full buffer cannot accept even in-order
+  // data (the packet will be recovered via NAK once space frees).
+  if (occupancy() + h.length > cfg_.rcvbuf) {
+    stats_.window_overflow_drops++;
+    return;
+  }
+
+  // Trim the already-received prefix.
+  if (seq_before(begin, rcv_nxt_)) {
+    skb->pull(static_cast<std::size_t>(seq_diff(begin, rcv_nxt_)));
+    begin = rcv_nxt_;
+  }
+
+  if (begin == rcv_nxt_) {
+    // In-order: splice straight into the stream.
+    nak_list_.fill(begin, end);
+    receive_queue_.push_back(std::move(skb));
+    rcv_nxt_ = end;
+    drain_out_of_order();
+    after_stream_advance();
+  } else {
+    // Gap: everything between rcv_nxt_ and this segment that is not
+    // already buffered is newly missing.
+    stats_.out_of_order_packets++;
+    insert_out_of_order(begin, end, std::move(skb));
+    nak_holes_up_to(begin);
+  }
+
+  check_flow_control(h.rate);
+}
+
+void HrmcReceiver::insert_out_of_order(Seq begin, Seq end,
+                                       kern::SkBuffPtr skb) {
+  // Trim against existing segments, then insert sorted. Overlaps are
+  // rare (retransmission races), so trimming to the uncovered prefix is
+  // sufficient: any still-missing tail will be NAKed again.
+  auto it = out_of_order_queue_.begin();
+  while (it != out_of_order_queue_.end() && seq_before_eq(it->end, begin)) {
+    ++it;
+  }
+  if (it != out_of_order_queue_.end()) {
+    if (seq_before_eq(it->begin, begin)) {
+      // Existing segment covers our start.
+      if (seq_after_eq(it->end, end)) {
+        stats_.duplicate_packets++;
+        return;  // fully covered
+      }
+      const auto overlap = static_cast<std::size_t>(seq_diff(begin, it->end));
+      skb->pull(overlap);
+      begin = it->end;
+      ++it;
+    }
+    if (it != out_of_order_queue_.end() && seq_before(it->begin, end)) {
+      // Our tail overlaps the next segment: keep only the prefix.
+      const auto keep = static_cast<std::size_t>(seq_diff(begin, it->begin));
+      skb->trim(keep);
+      // (end shrinks to it->begin)
+      return insert_trimmed(begin, it->begin, std::move(skb), it);
+    }
+  }
+  insert_trimmed(begin, end, std::move(skb), it);
+}
+
+void HrmcReceiver::insert_trimmed(Seq begin, Seq end, kern::SkBuffPtr skb,
+                                  std::vector<OooSeg>::iterator at) {
+  if (!seq_before(begin, end)) return;
+  ooo_bytes_ += static_cast<std::size_t>(seq_diff(begin, end));
+  nak_list_.fill(begin, end);
+  out_of_order_queue_.insert(at, OooSeg{begin, end, std::move(skb)});
+}
+
+void HrmcReceiver::drain_out_of_order() {
+  auto it = out_of_order_queue_.begin();
+  while (it != out_of_order_queue_.end() &&
+         seq_before_eq(it->begin, rcv_nxt_)) {
+    ooo_bytes_ -= static_cast<std::size_t>(seq_diff(it->begin, it->end));
+    if (seq_after(it->end, rcv_nxt_)) {
+      const auto overlap =
+          static_cast<std::size_t>(seq_diff(it->begin, rcv_nxt_));
+      it->skb->pull(overlap);
+      receive_queue_.push_back(std::move(it->skb));
+      rcv_nxt_ = it->end;
+    }
+    ++it;
+  }
+  out_of_order_queue_.erase(out_of_order_queue_.begin(), it);
+}
+
+void HrmcReceiver::nak_holes_up_to(Seq upto) {
+  const sim::SimTime now = host_.scheduler().now();
+  Seq cursor = rcv_nxt_;
+  std::vector<NakRange> fresh;
+  for (const OooSeg& seg : out_of_order_queue_) {
+    if (seq_after_eq(seg.begin, upto)) break;
+    if (seq_before(cursor, seg.begin)) {
+      auto f = nak_list_.add_gap(cursor, seg.begin, now);
+      fresh.insert(fresh.end(), f.begin(), f.end());
+    }
+    cursor = seq_max(cursor, seg.end);
+  }
+  if (seq_before(cursor, upto)) {
+    auto f = nak_list_.add_gap(cursor, upto, now);
+    fresh.insert(fresh.end(), f.begin(), f.end());
+  }
+  if (fresh.empty() && seq_before(rcv_nxt_, upto)) {
+    // A hole existed but every byte of it is already pending: local NAK
+    // suppression at work.
+    stats_.naks_suppressed++;
+  }
+  // With FEC active and the parity due soon, give it one interval to
+  // repair the hole locally before spending a NAK round trip on it
+  // (probe-solicited NAKs are never deferred: the sender is waiting).
+  const bool defer = fec_wait_worthwhile() && !answering_probe_;
+  for (const NakRange& r : fresh) {
+    if (!defer) send_nak(r);
+  }
+  rearm_nak_timer();
+}
+
+void HrmcReceiver::after_stream_advance() {
+  nak_list_.ack_through(rcv_nxt_);
+  rearm_nak_timer();
+  if (complete() && !complete_reported_) {
+    complete_reported_ = true;
+    if (on_complete) on_complete();
+  }
+  if (on_readable && !receive_queue_.empty()) on_readable();
+}
+
+// --------------------------------------------------------------------
+// Flow control: the three rules of §2
+// --------------------------------------------------------------------
+
+void HrmcReceiver::check_flow_control(std::uint32_t advertised_rate) {
+  const double occ = static_cast<double>(occupancy());
+  const double buf = static_cast<double>(cfg_.rcvbuf);
+  if (occ < cfg_.warn_fraction * buf) {
+    return;  // rule 1: safe region, no action
+  }
+  const double rtt_s = sim::to_seconds(rtt_.srtt());
+  const double empty = buf - occ;
+  if (occ < cfg_.crit_fraction * buf) {
+    // Rule 2: warning region. Request a lower rate if what the sender
+    // may emit over the next WARNBUF RTTs exceeds the remaining space.
+    const double incoming =
+        static_cast<double>(advertised_rate) * cfg_.warnbuf_rtts * rtt_s;
+    if (incoming > empty) {
+      const double suggested =
+          empty / (static_cast<double>(cfg_.warnbuf_rtts) *
+                   std::max(rtt_s, 1e-6));
+      send_control(static_cast<std::uint32_t>(
+                       std::max(suggested, 1.0)),
+                   /*urgent=*/false);
+    }
+    return;
+  }
+  // Rule 3: critical region — stop the sender for two RTTs.
+  send_control(cfg_.min_rate, /*urgent=*/true);
+}
+
+// --------------------------------------------------------------------
+// FEC extension (§6 future work (4))
+// --------------------------------------------------------------------
+
+void HrmcReceiver::fec_cache_store(Seq begin,
+                                   std::span<const std::uint8_t> payload) {
+  // Arrival order ~= sequence order; refreshing duplicates is pointless.
+  for (const FecCacheEntry& e : fec_cache_) {
+    if (e.begin == begin) return;
+  }
+  fec_cache_.push_back(
+      FecCacheEntry{begin, {payload.begin(), payload.end()}});
+  const std::size_t cap =
+      std::max<std::size_t>(1, cfg_.fec_cache_groups * cfg_.fec_group);
+  while (fec_cache_.size() > cap) fec_cache_.pop_front();
+}
+
+const HrmcReceiver::FecCacheEntry* HrmcReceiver::fec_cache_find(
+    Seq begin) const {
+  for (auto it = fec_cache_.rbegin(); it != fec_cache_.rend(); ++it) {
+    if (it->begin == begin) return &*it;
+  }
+  return nullptr;
+}
+
+bool HrmcReceiver::holds_bytes(Seq begin, Seq end) const {
+  if (seq_before_eq(end, rcv_nxt_)) return true;  // already in the stream
+  for (const OooSeg& seg : out_of_order_queue_) {
+    if (seq_before_eq(seg.begin, begin) && seq_after_eq(seg.end, end)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void HrmcReceiver::process_fec(const Header& h, kern::SkBuffPtr skb) {
+  stats_.fec_packets_received++;
+  if (cfg_.fec_group == 0 || h.length == 0 || skb->size() != h.length ||
+      h.rate % h.length != 0) {
+    return;
+  }
+  const std::size_t k = h.rate / h.length;
+  if (k == 0 || k > 64) return;  // sanity bound
+  const Seq span_end = h.seq + h.rate;
+  if (seq_before_eq(span_end, rcv_nxt_)) return;  // group fully delivered
+
+  // Exactly one missing packet is recoverable.
+  Seq missing = 0;
+  std::size_t missing_count = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Seq b = h.seq + static_cast<Seq>(i * h.length);
+    if (!holds_bytes(b, b + h.length)) {
+      missing = b;
+      ++missing_count;
+    }
+  }
+  if (missing_count != 1) return;
+
+  // XOR the parity with the k-1 cached siblings.
+  std::vector<std::uint8_t> out(skb->data(), skb->data() + h.length);
+  for (std::size_t i = 0; i < k; ++i) {
+    const Seq b = h.seq + static_cast<Seq>(i * h.length);
+    if (b == missing) continue;
+    const FecCacheEntry* e = fec_cache_find(b);
+    if (e == nullptr || e->bytes.size() != h.length) {
+      return;  // a sibling's bytes are no longer available
+    }
+    for (std::size_t j = 0; j < h.length; ++j) out[j] ^= e->bytes[j];
+  }
+
+  kern::SkBuffPtr rebuilt = kern::SkBuff::alloc(h.length, 64);
+  std::memcpy(rebuilt->put(h.length), out.data(), h.length);
+  stats_.fec_recoveries++;
+  fec_cache_store(missing, rebuilt->bytes());
+  splice_reconstructed(missing, std::move(rebuilt));
+}
+
+void HrmcReceiver::splice_reconstructed(Seq begin, kern::SkBuffPtr skb) {
+  const Seq end = begin + static_cast<Seq>(skb->size());
+  if (occupancy() + skb->size() > cfg_.rcvbuf) return;  // no room
+  if (seq_before(begin, rcv_nxt_)) {
+    if (seq_before_eq(end, rcv_nxt_)) return;
+    skb->pull(static_cast<std::size_t>(seq_diff(begin, rcv_nxt_)));
+    begin = rcv_nxt_;
+  }
+  if (begin == rcv_nxt_) {
+    nak_list_.fill(begin, end);
+    receive_queue_.push_back(std::move(skb));
+    rcv_nxt_ = end;
+    drain_out_of_order();
+    after_stream_advance();
+  } else {
+    insert_out_of_order(begin, end, std::move(skb));
+  }
+}
+
+// --------------------------------------------------------------------
+// Probes, keepalives, control responses
+// --------------------------------------------------------------------
+
+void HrmcReceiver::process_probe(const Header& h) {
+  stats_.probes_received++;
+  probe_seen_this_period_ = true;
+  answering_probe_ = true;  // outgoing UPDATE/NAKs carry the URG mark
+  if (seq_after_eq(rcv_nxt_, h.seq)) {
+    send_update();
+  } else {
+    nak_holes_up_to(h.seq);
+  }
+  answering_probe_ = false;
+}
+
+void HrmcReceiver::process_keepalive(const Header& h) {
+  stats_.keepalives_received++;
+  if (h.fin) fin_seq_ = h.seq;
+  if (seq_after(h.seq, rcv_nxt_)) {
+    // The keepalive names data we never saw: the tail of a burst was
+    // lost (§2, "NAK-Based Reliability").
+    nak_holes_up_to(h.seq);
+  }
+  if (complete() && !complete_reported_) {
+    complete_reported_ = true;
+    if (on_complete) on_complete();
+  }
+}
+
+void HrmcReceiver::process_join_response(const Header& h) {
+  (void)h;
+  if (join_state_ == JoinState::kJoining) {
+    join_state_ = JoinState::kJoined;
+    rtt_.sample(host_.scheduler().now() - join_sent_at_,
+                /*from_retransmit=*/join_tries_ > 1);
+    join_timer_.del_timer();
+    // The Update Generator runs for the life of the H-RMC connection.
+    if (cfg_.mode == Mode::kHrmc) {
+      update_timer_.mod_timer_in(update_period_);
+    }
+  }
+}
+
+void HrmcReceiver::process_leave_response(const Header& h) {
+  (void)h;
+  if (join_state_ == JoinState::kLeaving) {
+    join_state_ = JoinState::kLeft;
+    join_timer_.del_timer();
+  }
+}
+
+void HrmcReceiver::process_nak_err(const Header& h) {
+  stats_.nak_errs_received++;
+  stream_error_ = true;
+  // The sender can no longer supply [h.seq, h.seq + h.length): give up on
+  // those bytes so the stream (and the application, now informed via
+  // stream_error()) can move past the hole.
+  const Seq hole_end = h.seq + h.length;
+  nak_list_.fill(h.seq, hole_end);
+  if (seq_after(hole_end, rcv_nxt_) && seq_before_eq(h.seq, rcv_nxt_)) {
+    const auto skipped =
+        static_cast<std::uint32_t>(seq_diff(rcv_nxt_, hole_end));
+    bytes_skipped_ += skipped;
+    rcv_nxt_ = hole_end;
+    // The skipped bytes will never be read: advance the consumed
+    // boundary past them so window accounting stays aligned.
+    rcv_wnd_ += skipped;
+    drain_out_of_order();
+    after_stream_advance();
+  }
+  rearm_nak_timer();
+}
+
+// --------------------------------------------------------------------
+// Feedback emission
+// --------------------------------------------------------------------
+
+void HrmcReceiver::send_nak(const NakRange& r) {
+  stats_.naks_sent++;
+  // NAK: seq = next expected (member-state refresh), rate field = start
+  // of the missing range, length = its size (wire.hpp). URG marks a
+  // probe-solicited NAK.
+  emit(PacketType::kNak, rcv_nxt_, r.from,
+       static_cast<std::uint32_t>(seq_diff(r.from, r.to)), answering_probe_);
+}
+
+void HrmcReceiver::send_update() {
+  stats_.updates_sent++;
+  emit(PacketType::kUpdate, rcv_nxt_, 0, 0, answering_probe_);
+}
+
+void HrmcReceiver::send_control(std::uint32_t requested_rate, bool urgent) {
+  stats_.rate_requests_sent++;
+  if (urgent) stats_.urgent_requests_sent++;
+  emit(PacketType::kControl, rcv_nxt_, requested_rate, 0, urgent);
+}
+
+void HrmcReceiver::send_join() {
+  join_state_ = JoinState::kJoining;
+  join_sent_at_ = host_.scheduler().now();
+  ++join_tries_;
+  emit(PacketType::kJoin, rcv_nxt_, 0, 0);
+  join_timer_.mod_timer_in(kJoinRetryJiffies);
+}
+
+void HrmcReceiver::send_leave() {
+  ++leave_tries_;
+  emit(PacketType::kLeave, rcv_nxt_, 0, 0);
+  join_timer_.mod_timer_in(kJoinRetryJiffies);
+}
+
+void HrmcReceiver::emit(PacketType type, Seq seq, std::uint32_t rate,
+                        std::uint32_t length, bool urg) {
+  if (sender_addr_ == 0) return;  // nowhere to send feedback yet
+  kern::SkBuffPtr skb = kern::SkBuff::alloc(0, Header::kSize + 44);
+  Header h;
+  h.sport = group_.port;
+  h.dport = group_.port;
+  h.seq = seq;
+  h.rate = rate;
+  h.length = length;
+  h.tries = 1;
+  h.type = type;
+  h.urg = urg;
+  write_header(*skb, h);
+  skb->daddr = sender_addr_;
+  skb->protocol = kIpProtoHrmc;
+  host_.send(std::move(skb));
+}
+
+// --------------------------------------------------------------------
+// Timers
+// --------------------------------------------------------------------
+
+void HrmcReceiver::nak_timer_fire() {
+  const sim::SimTime now = host_.scheduler().now();
+  for (const NakRange& r : nak_list_.due(now, nak_interval())) {
+    send_nak(r);
+  }
+  rearm_nak_timer();
+}
+
+void HrmcReceiver::rearm_nak_timer() {
+  if (nak_list_.empty()) {
+    nak_timer_.del_timer();
+    return;
+  }
+  const sim::SimTime next = nak_list_.next_due(nak_interval());
+  const kern::Jiffies j = std::max<kern::Jiffies>(
+      1, kern::to_jiffies(next) - nak_timer_.now_jiffies());
+  nak_timer_.mod_timer_in(j);
+}
+
+void HrmcReceiver::update_timer_fire() {
+  send_update();
+  if (cfg_.dynamic_update_timer) {
+    // §3 "Dynamic Update Timers": probes mean the sender is starved for
+    // information — speed up; silence means updates suffice — back off.
+    if (probe_seen_this_period_) {
+      update_period_ = std::max<kern::Jiffies>(cfg_.update_period_min,
+                                               update_period_ - 1);
+    } else {
+      update_period_ = std::min<kern::Jiffies>(cfg_.update_period_max,
+                                               update_period_ + 1);
+    }
+  }
+  probe_seen_this_period_ = false;
+  update_timer_.mod_timer_in(update_period_);
+}
+
+void HrmcReceiver::join_timer_fire() {
+  if (join_state_ == JoinState::kJoining && join_tries_ < kMaxJoinTries) {
+    send_join();
+  } else if (join_state_ == JoinState::kLeaving &&
+             leave_tries_ < kMaxLeaveTries) {
+    send_leave();
+  } else if (join_state_ == JoinState::kLeaving) {
+    join_state_ = JoinState::kLeft;  // give up; the sender timed us out
+  }
+}
+
+}  // namespace hrmc::proto

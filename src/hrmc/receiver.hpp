@@ -1,0 +1,240 @@
+// H-RMC receiver (Figure 9 of the paper).
+//
+// Components, as in the driver:
+//  - Main Packet Processor (hrmc_rcv_data): reassembles the stream,
+//    detects gaps (generating immediate NAKs for newly missing bytes),
+//    and applies the three flow-control rules of §2 on every new DATA
+//    packet (safe / warning / critical receive-window regions).
+//  - Out-of-Order Queue: segments that cannot yet be spliced into the
+//    stream; they occupy receive-buffer space like any other data.
+//  - Receive Queue: in-order data awaiting the application.
+//  - NAK Manager (nak_timer): re-sends pending NAKs once the local
+//    suppression interval has passed.
+//  - Update Generator (update_timer, H-RMC mode only): periodic UPDATEs
+//    carrying the highest in-order sequence; the period adapts ±1 jiffy
+//    per period based on whether a PROBE arrived (§3).
+//  - Application Interface (hrmc_recvmsg): copies in-order bytes out.
+//
+// (The driver's Backlog Queue exists to park packets while the socket is
+// locked by a concurrent syscall; the simulation is single-threaded per
+// host, so the lock can never be held and the queue would be dead code.)
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "hrmc/config.hpp"
+#include "hrmc/nak_list.hpp"
+#include "hrmc/rtt.hpp"
+#include "hrmc/stats.hpp"
+#include "hrmc/wire.hpp"
+#include "kern/timer.hpp"
+#include "net/host.hpp"
+
+namespace hrmc::proto {
+
+class HrmcReceiver final : public net::Transport {
+ public:
+  /// `group` is the multicast session to listen to. `sender_hint` (may be
+  /// 0) lets the receiver JOIN before the first data packet arrives;
+  /// without it, the JOIN goes out in response to the first DATA packet,
+  /// exactly as in the paper.
+  HrmcReceiver(net::Host& host, const Config& cfg, net::Endpoint group,
+               net::Addr sender_hint = 0);
+  ~HrmcReceiver() override;
+
+  HrmcReceiver(const HrmcReceiver&) = delete;
+  HrmcReceiver& operator=(const HrmcReceiver&) = delete;
+
+  /// Subscribes to the multicast group and (if the sender is known)
+  /// sends the JOIN request.
+  void open();
+
+  /// Sends LEAVE and unsubscribes. Retries LEAVE until the response
+  /// arrives (bounded).
+  void close();
+
+  /// Cancels every timer (see HrmcSender::stop).
+  void stop();
+
+  // --- Application interface (hrmc_recvmsg) ---
+
+  /// Copies up to out.size() in-order bytes to the application.
+  std::size_t recv(std::span<std::uint8_t> out);
+
+  /// In-order bytes ready for recv().
+  [[nodiscard]] std::size_t available() const {
+    return receive_queue_.bytes();
+  }
+
+  /// True once the whole stream (through FIN) has been received,
+  /// regardless of how much the application has consumed.
+  [[nodiscard]] bool complete() const {
+    return fin_seq_.has_value() && rcv_nxt_ == *fin_seq_;
+  }
+
+  /// True when complete() and the application has consumed everything.
+  [[nodiscard]] bool eof() const { return complete() && available() == 0; }
+
+  /// Set when the sender answered a retransmission request with NAK_ERR
+  /// (possible only under Mode::kRmc): bytes were skipped.
+  [[nodiscard]] bool stream_error() const { return stream_error_; }
+  [[nodiscard]] std::uint64_t bytes_skipped() const { return bytes_skipped_; }
+
+  std::function<void()> on_readable;  ///< new in-order data available
+  std::function<void()> on_complete;  ///< entire stream received
+
+  // --- Introspection ---
+  [[nodiscard]] const ReceiverStats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] kern::Seq rcv_nxt() const { return rcv_nxt_; }
+  [[nodiscard]] kern::Seq rcv_wnd() const { return rcv_wnd_; }
+  [[nodiscard]] std::size_t occupancy() const {
+    return receive_queue_.bytes() + ooo_bytes_;
+  }
+  [[nodiscard]] kern::Jiffies update_period() const { return update_period_; }
+  [[nodiscard]] bool joined() const { return join_state_ == JoinState::kJoined; }
+  [[nodiscard]] sim::SimTime srtt() const { return rtt_.srtt(); }
+
+  // --- net::Transport ---
+  void rx(kern::SkBuffPtr skb) override;
+
+ private:
+  enum class JoinState { kIdle, kJoining, kJoined, kLeaving, kLeft };
+
+  /// Out-of-order segment: payload plus its place in sequence space.
+  struct OooSeg {
+    kern::Seq begin = 0;
+    kern::Seq end = 0;
+    kern::SkBuffPtr skb;  // payload only (header already stripped)
+  };
+
+  // Packet handlers.
+  void process_data(const Header& h, kern::SkBuffPtr skb);
+  void process_fec(const Header& h, kern::SkBuffPtr skb);
+  void process_probe(const Header& h);
+  void process_keepalive(const Header& h);
+  void process_join_response(const Header& h);
+  void process_leave_response(const Header& h);
+  void process_nak_err(const Header& h);
+
+  // Reassembly helpers.
+  void insert_out_of_order(kern::Seq begin, kern::Seq end,
+                           kern::SkBuffPtr skb);
+  void insert_trimmed(kern::Seq begin, kern::Seq end, kern::SkBuffPtr skb,
+                      std::vector<OooSeg>::iterator at);
+  void drain_out_of_order();
+  /// Finds the holes in [rcv_nxt_, upto) not covered by buffered
+  /// segments, records them in the NAK list, and NAKs the new ones.
+  void nak_holes_up_to(kern::Seq upto);
+  void after_stream_advance();
+
+  // Flow control (the three rules of §2).
+  void check_flow_control(std::uint32_t advertised_rate);
+
+  // Feedback emission.
+  void send_nak(const NakRange& r);
+  void send_update();
+  void send_control(std::uint32_t requested_rate, bool urgent);
+  void send_join();
+  void send_leave();
+  void emit(PacketType type, kern::Seq seq, std::uint32_t rate,
+            std::uint32_t length, bool urg = false);
+
+  // Timers.
+  void nak_timer_fire();
+  void rearm_nak_timer();
+  void update_timer_fire();
+  void join_timer_fire();
+
+  [[nodiscard]] sim::SimTime nak_interval() const {
+    // Floor at two jiffies: the sender's retransmitter runs on the jiffy
+    // timer, so a re-send any sooner is guaranteed to duplicate ("before
+    // the sender has had ample opportunity to respond", §2).
+    sim::SimTime iv = std::max<sim::SimTime>(
+        static_cast<sim::SimTime>(cfg_.nak_resend_rtts *
+                                  static_cast<double>(rtt_.srtt())),
+        2 * kern::kJiffy);
+    if (fec_wait_worthwhile()) iv = std::max(iv, fec_parity_eta());
+    return iv;
+  }
+
+  /// Expected parity arrival: one group of packets at the measured
+  /// inter-arrival spacing, plus margin.
+  [[nodiscard]] sim::SimTime fec_parity_eta() const {
+    return static_cast<sim::SimTime>(
+        1.25 * static_cast<double>(cfg_.fec_group) *
+        static_cast<double>(interarrival_));
+  }
+
+  /// Wait for the parity only when it is due soon — if it is far off
+  /// (heavy loss collapsed the rate), ARQ recovers faster: the NAK goes
+  /// out on the normal clock, and a parity that still wins the race
+  /// saves the retransmission opportunistically.
+  [[nodiscard]] bool fec_wait_worthwhile() const {
+    if (cfg_.fec_group == 0 || interarrival_ <= 0) return false;
+    const sim::SimTime base = static_cast<sim::SimTime>(
+        cfg_.nak_resend_rtts * static_cast<double>(rtt_.srtt()));
+    return fec_parity_eta() <=
+           std::max<sim::SimTime>(2 * base, sim::milliseconds(60));
+  }
+
+  net::Host& host_;
+  Config cfg_;
+  net::Endpoint group_;
+  net::Addr sender_addr_;
+
+  // Receive sequence space (Figure 2).
+  kern::Seq rcv_wnd_ = 0;  ///< next byte the app reads
+  kern::Seq rcv_nxt_ = 0;  ///< next byte expected
+
+  kern::SkBuffQueue receive_queue_;
+  std::vector<OooSeg> out_of_order_queue_;  // sorted, non-overlapping
+  std::size_t ooo_bytes_ = 0;
+
+  NakList nak_list_;
+  RttEstimator rtt_;
+  ReceiverStats stats_;
+
+  // FEC extension: cache of recent full-MSS data payloads, used to
+  // reconstruct a single missing packet of a parity group. Bounded by
+  // cfg_.fec_cache_groups * cfg_.fec_group entries.
+  struct FecCacheEntry {
+    kern::Seq begin = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  void fec_cache_store(kern::Seq begin,
+                       std::span<const std::uint8_t> payload);
+  [[nodiscard]] const FecCacheEntry* fec_cache_find(kern::Seq begin) const;
+  [[nodiscard]] bool holds_bytes(kern::Seq begin, kern::Seq end) const;
+  void splice_reconstructed(kern::Seq begin, kern::SkBuffPtr skb);
+  std::deque<FecCacheEntry> fec_cache_;
+
+  std::optional<kern::Seq> fin_seq_;
+  bool complete_reported_ = false;
+  bool stream_error_ = false;
+  std::uint64_t bytes_skipped_ = 0;
+
+  JoinState join_state_ = JoinState::kIdle;
+  sim::SimTime join_sent_at_ = 0;
+  int join_tries_ = 0;
+  int leave_tries_ = 0;
+
+  kern::TimerList nak_timer_;
+  kern::TimerList update_timer_;
+  kern::TimerList join_timer_;
+  kern::Jiffies update_period_;
+  bool probe_seen_this_period_ = false;
+  std::uint32_t last_adv_rate_ = 0;  ///< rate field of the latest DATA
+  sim::SimTime last_data_at_ = -1;   ///< arrival time of the latest DATA
+  sim::SimTime interarrival_ = 0;    ///< EWMA of DATA inter-arrival time
+  /// True while handling a PROBE: feedback emitted now is solicited and
+  /// carries the URG mark so the sender may time it as a round trip.
+  bool answering_probe_ = false;
+};
+
+}  // namespace hrmc::proto

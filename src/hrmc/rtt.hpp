@@ -1,0 +1,56 @@
+// Round-trip-time estimation per Karn & Partridge (reference [18] of the
+// paper): smoothed RTT with mean-deviation variance, and the Karn rule —
+// never take a sample from data that has been retransmitted, since the
+// response cannot be attributed to a particular transmission.
+//
+// RMC/H-RMC track the RTT "to the most distant receiver": every piece of
+// receiver feedback (NAK arrival relative to the data's send time, PROBE
+// responses) is a sample, and the estimator follows the slow tail because
+// distant receivers keep feeding it large samples.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/time.hpp"
+
+namespace hrmc::proto {
+
+class RttEstimator {
+ public:
+  explicit RttEstimator(sim::SimTime initial, sim::SimTime min_clamp)
+      : srtt_(initial), rttvar_(initial / 2), min_clamp_(min_clamp) {}
+
+  /// Feeds one sample. `from_retransmit` applies the Karn rule: the
+  /// sample is discarded because its attribution is ambiguous.
+  void sample(sim::SimTime rtt, bool from_retransmit = false) {
+    if (from_retransmit) return;
+    rtt = std::max(rtt, min_clamp_);
+    if (!seeded_) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+      seeded_ = true;
+      return;
+    }
+    // RFC 6298 coefficients (alpha = 1/8, beta = 1/4), integer form.
+    const sim::SimTime err = rtt - srtt_;
+    srtt_ += err / 8;
+    rttvar_ += ((err < 0 ? -err : err) - rttvar_) / 4;
+    srtt_ = std::max(srtt_, min_clamp_);
+  }
+
+  [[nodiscard]] sim::SimTime srtt() const { return srtt_; }
+  [[nodiscard]] sim::SimTime rttvar() const { return rttvar_; }
+
+  /// Retransmission-timeout-style bound: srtt + 4·rttvar.
+  [[nodiscard]] sim::SimTime rto() const { return srtt_ + 4 * rttvar_; }
+
+  [[nodiscard]] bool seeded() const { return seeded_; }
+
+ private:
+  sim::SimTime srtt_;
+  sim::SimTime rttvar_;
+  sim::SimTime min_clamp_;
+  bool seeded_ = false;
+};
+
+}  // namespace hrmc::proto

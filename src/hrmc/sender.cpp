@@ -1,0 +1,644 @@
+#include "hrmc/sender.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+namespace hrmc::proto {
+
+using kern::Seq;
+using kern::seq_after;
+using kern::seq_after_eq;
+using kern::seq_before;
+using kern::seq_before_eq;
+using kern::seq_diff;
+using kern::seq_max;
+using kern::seq_min;
+
+HrmcSender::HrmcSender(net::Host& host, const Config& cfg,
+                       net::Port local_port, net::Endpoint group)
+    : host_(host),
+      cfg_(cfg),
+      local_port_(local_port),
+      group_(group),
+      rate_(cfg_),
+      rtt_(cfg_.initial_rtt, cfg_.min_rtt_clamp),
+      transmit_timer_(host.scheduler(), [this] { transmit_pump(); }),
+      retrans_timer_(host.scheduler(), [this] { transmit_pump(); }),
+      ka_timer_(host.scheduler(), [this] { keepalive_fire(); }),
+      ka_period_(cfg.keepalive_init),
+      last_forward_send_(host.scheduler().now()) {
+  snd_wnd_ = snd_nxt_ = snd_sent_ = cfg_.initial_seq;
+  host_.register_transport(kIpProtoHrmc, this);
+  rate_.restart();
+  last_pump_ = host_.scheduler().now();
+  ka_timer_.mod_timer_in(ka_period_);
+}
+
+HrmcSender::~HrmcSender() {
+  host_.unregister_transport(kIpProtoHrmc);
+}
+
+void HrmcSender::stop() {
+  transmit_timer_.del_timer();
+  retrans_timer_.del_timer();
+  ka_timer_.del_timer();
+}
+
+// --------------------------------------------------------------------
+// Application interface (hrmc_sendmsg)
+// --------------------------------------------------------------------
+
+std::size_t HrmcSender::send(std::span<const std::uint8_t> data) {
+  if (fin_closed_) return 0;
+  std::size_t accepted = 0;
+  while (accepted < data.size() && queued_bytes_ < cfg_.sndbuf) {
+    const std::size_t room_in_buf = cfg_.sndbuf - queued_bytes_;
+
+    // Coalesce into the last record if it is still unsent and short.
+    if (!write_queue_.empty() && first_unsent_ < write_queue_.size()) {
+      TxRecord& last = write_queue_.back();
+      const std::size_t cur = payload_len(last);
+      if (!last.sent && cur < cfg_.mss) {
+        const std::size_t take = std::min(
+            {data.size() - accepted, cfg_.mss - cur, room_in_buf});
+        std::memcpy(last.payload->put(take), data.data() + accepted, take);
+        last.seq_end += static_cast<Seq>(take);
+        snd_nxt_ += static_cast<Seq>(take);
+        queued_bytes_ += take;
+        accepted += take;
+        continue;
+      }
+    }
+
+    const std::size_t take =
+        std::min({data.size() - accepted, cfg_.mss, room_in_buf});
+    if (take == 0) break;
+    TxRecord rec;
+    rec.seq_begin = snd_nxt_;
+    rec.seq_end = snd_nxt_ + static_cast<Seq>(take);
+    rec.payload = kern::SkBuff::alloc(cfg_.mss, Header::kSize + 44);
+    std::memcpy(rec.payload->put(take), data.data() + accepted, take);
+    write_queue_.push_back(std::move(rec));
+    snd_nxt_ += static_cast<Seq>(take);
+    queued_bytes_ += take;
+    accepted += take;
+  }
+  if (accepted > 0) arm_transmit_timer();
+  return accepted;
+}
+
+void HrmcSender::close() {
+  if (fin_closed_) return;
+  fin_closed_ = true;
+  if (first_unsent_ < write_queue_.size()) {
+    // The last backlogged packet will carry FIN.
+    write_queue_.back().fin = true;
+  } else {
+    // Everything already transmitted (or nothing to send): announce the
+    // end of stream via a FIN-flagged KEEPALIVE right away.
+    emit_control_packet(PacketType::kKeepalive, group_.addr, snd_sent_,
+                        rate_.rate(), 0, /*urg=*/false, /*fin=*/true);
+    stats_.keepalives_sent++;
+  }
+  arm_transmit_timer();
+  maybe_report_finished();
+}
+
+bool HrmcSender::finished() const {
+  return fin_closed_ && write_queue_.empty();
+}
+
+void HrmcSender::maybe_report_finished() {
+  if (!finished_reported_ && finished()) {
+    finished_reported_ = true;
+    if (on_finished) on_finished();
+  }
+}
+
+// --------------------------------------------------------------------
+// Transmitter (transmit_timer)
+// --------------------------------------------------------------------
+
+void HrmcSender::arm_transmit_timer() {
+  const bool work = !write_queue_.empty() || !retrans_queue_.empty();
+  if (work && !transmit_timer_.pending()) {
+    transmit_timer_.mod_timer_in(1);
+  }
+}
+
+void HrmcSender::transmit_pump() {
+  const sim::SimTime now = host_.scheduler().now();
+
+  const bool actively_sending =
+      first_unsent_ < write_queue_.size() || !retrans_queue_.empty();
+  rate_.maybe_grow(now, rtt_.srtt(), actively_sending);
+
+  // Budget over the elapsed interval, capped at one jiffy so an idle
+  // stretch does not bank into a burst.
+  sim::SimTime dt = std::min<sim::SimTime>(now - last_pump_, kern::kJiffy);
+  last_pump_ = now;
+  std::uint64_t budget = rate_.budget(dt) + budget_carry_;
+
+  // Device check: like the kernel driver, the transmitter consults the
+  // device queue and requeues instead of flooding a full card. This is
+  // why the paper sees no local loss at 10 Mbps — the rate window can
+  // grow far past the link without the card eating the difference.
+  dev_credit_ = host_.nic() != nullptr
+                    ? host_.nic()->tx_free()
+                    : std::numeric_limits<std::size_t>::max();
+  // Standing queue at the device means the rate window is running above
+  // the drain rate; decay toward it (threshold: a quarter of the queue).
+  const bool backlogged = first_unsent_ < write_queue_.size();
+  if (backlogged && host_.nic() != nullptr &&
+      host_.nic()->tx_queue_len() > host_.nic()->config().tx_ring / 4) {
+    rate_.on_device_full(now);
+  }
+
+  budget = service_retransmissions(budget);
+  if (!rate_.stopped(now)) {
+    budget = send_new_data(budget);
+  }
+  budget_carry_ = std::min<std::uint64_t>(budget, cfg_.mss);
+
+  try_advance_window();
+  arm_transmit_timer();
+}
+
+std::uint64_t HrmcSender::send_new_data(std::uint64_t budget) {
+  const sim::SimTime now = host_.scheduler().now();
+  while (first_unsent_ < write_queue_.size()) {
+    TxRecord& rec = write_queue_[first_unsent_];
+    const std::size_t plen = payload_len(rec);
+    if (budget < plen) break;
+    if (dev_credit_ == 0) break;  // device queue full: requeue for next jiffy
+    --dev_credit_;
+    transmit_record(rec, /*retransmission=*/false);
+    rec.first_sent = now;
+    snd_sent_ = seq_max(snd_sent_, rec.seq_end);
+    ++first_unsent_;
+    budget -= plen;
+    stats_.data_packets_sent++;
+    stats_.data_bytes_sent += plen;
+    if (cfg_.fec_group > 0) fec_accumulate(rec);
+  }
+  return budget;
+}
+
+void HrmcSender::fec_accumulate(const TxRecord& rec) {
+  // Parity protects groups of contiguous full-MSS first transmissions;
+  // a short (stream-tail) packet aborts the open group — the normal NAK
+  // path covers it.
+  if (payload_len(rec) != cfg_.mss) {
+    fec_reset();
+    return;
+  }
+  if (fec_count_ == 0) {
+    fec_begin_ = rec.seq_begin;
+    fec_xor_.assign(cfg_.mss, 0);
+  }
+  const std::uint8_t* p = rec.payload->data();
+  for (std::size_t i = 0; i < cfg_.mss; ++i) fec_xor_[i] ^= p[i];
+  if (++fec_count_ < cfg_.fec_group) return;
+
+  kern::SkBuffPtr skb = kern::SkBuff::alloc(cfg_.mss, Header::kSize + 44);
+  std::memcpy(skb->put(cfg_.mss), fec_xor_.data(), cfg_.mss);
+  Header h;
+  h.sport = local_port_;
+  h.dport = group_.port;
+  h.seq = fec_begin_;
+  h.rate = static_cast<std::uint32_t>(cfg_.fec_group * cfg_.mss);  // span
+  h.length = static_cast<std::uint32_t>(cfg_.mss);
+  h.tries = 1;
+  h.type = PacketType::kFec;
+  write_header(*skb, h);
+  skb->daddr = group_.addr;
+  skb->protocol = kIpProtoHrmc;
+  stats_.fec_packets_sent++;
+  host_.send(std::move(skb));
+  fec_reset();
+}
+
+std::uint64_t HrmcSender::service_retransmissions(std::uint64_t budget) {
+  const sim::SimTime now = host_.scheduler().now();
+  const sim::SimTime dedup = static_cast<sim::SimTime>(
+      cfg_.retrans_dedup_rtts * static_cast<double>(rtt_.srtt()));
+
+  std::vector<RetransRange> remaining;
+  bool out_of_budget = false;
+  for (std::size_t r = 0; r < retrans_queue_.size(); ++r) {
+    RetransRange range = retrans_queue_[r];
+    if (out_of_budget) {
+      // Budget or device exhausted: every unserviced request survives
+      // to the next jiffy.
+      remaining.push_back(range);
+      continue;
+    }
+    // Data already released cannot be retransmitted (the NAK_ERR for it
+    // was produced at feedback-processing time).
+    if (seq_before(range.from, snd_wnd_)) range.from = snd_wnd_;
+    for (std::size_t i = 0; i < first_unsent_; ++i) {
+      TxRecord& rec = write_queue_[i];
+      if (seq_before_eq(rec.seq_end, range.from)) continue;
+      if (seq_before_eq(range.to, rec.seq_begin)) break;
+      if (!rec.sent) break;  // backlog will flow in order anyway
+      if (now - rec.last_retrans < dedup) continue;  // collapsed duplicate
+      const std::size_t plen = payload_len(rec);
+      if (budget < plen || dev_credit_ == 0) {
+        // Keep the unserviced tail of the range for the next jiffy.
+        remaining.push_back(RetransRange{rec.seq_begin, range.to});
+        out_of_budget = true;
+        break;
+      }
+      --dev_credit_;
+      transmit_record(rec, /*retransmission=*/true);
+      budget -= plen;
+      stats_.retransmissions++;
+      stats_.retrans_bytes += plen;
+    }
+  }
+  retrans_queue_ = std::move(remaining);
+  return budget;
+}
+
+void HrmcSender::transmit_record(TxRecord& rec, bool retransmission) {
+  const sim::SimTime now = host_.scheduler().now();
+  kern::SkBuffPtr skb = rec.payload->clone();
+  Header h;
+  h.sport = local_port_;
+  h.dport = group_.port;
+  h.seq = rec.seq_begin;
+  h.rate = rate_.rate();
+  h.length = static_cast<std::uint32_t>(payload_len(rec));
+  if (rec.tries < 255) ++rec.tries;
+  h.tries = rec.tries;
+  h.type = PacketType::kData;
+  h.fin = rec.fin;
+  write_header(*skb, h);
+  skb->daddr = group_.addr;
+  skb->protocol = kIpProtoHrmc;
+  rec.sent = true;
+  rec.last_sent = now;
+  if (retransmission) rec.last_retrans = now;
+  note_forward_activity();
+  host_.send(std::move(skb));
+}
+
+void HrmcSender::try_advance_window() {
+  const sim::SimTime now = host_.scheduler().now();
+  const sim::SimTime hold =
+      cfg_.minbuf_rtts * std::max<sim::SimTime>(rtt_.srtt(), kern::kJiffy);
+
+  bool freed = false;
+  while (!write_queue_.empty()) {
+    TxRecord& head = write_queue_.front();
+    if (!head.sent) break;
+    if (now - head.last_sent < hold) {
+      // Optional early probing (§6 future work (1)): start collecting
+      // receiver state before the hold expires so small-buffer runs do
+      // not degenerate into stop-and-wait.
+      if (cfg_.mode == Mode::kHrmc && cfg_.early_probe_rtts > 0 &&
+          now - head.last_sent >=
+              hold - cfg_.early_probe_rtts * rtt_.srtt() &&
+          !members_.empty() && !members_.all_have(head.seq_end)) {
+        probe_lacking_members(head.seq_end);
+      }
+      break;
+    }
+
+    const bool complete = members_.all_have(head.seq_end);
+    if (!head.release_counted) {
+      head.release_counted = true;
+      stats_.release_decisions++;
+      if (complete) stats_.releases_with_complete_info++;
+    }
+
+    if (cfg_.mode == Mode::kHrmc && !members_.empty() && !complete) {
+      probe_lacking_members(head.seq_end);
+      break;  // the window does not advance until everyone has the data
+    }
+
+    // Safe (H-RMC) or unconditional (RMC) release.
+    const std::size_t plen = payload_len(head);
+    queued_bytes_ -= plen;
+    snd_wnd_ = head.seq_end;
+    stats_.packets_released++;
+    stats_.bytes_released += plen;
+    sent_log_.push_back(SentLogEntry{head.seq_begin, head.seq_end,
+                                     head.last_sent, head.tries});
+    if (sent_log_.size() > kSentLogCap) sent_log_.pop_front();
+    write_queue_.pop_front();
+    if (first_unsent_ > 0) --first_unsent_;
+    freed = true;
+  }
+
+  if (freed) {
+    maybe_report_finished();
+    if (on_writable) on_writable();
+  }
+}
+
+void HrmcSender::probe_lacking_members(Seq release_seq) {
+  const sim::SimTime now = host_.scheduler().now();
+  // Probe spacing floored at one jiffy: below that, re-probes could not
+  // possibly have been answered yet, and with many receivers the storm
+  // of control packets starves the data path at the device queue.
+  const sim::SimTime spacing = std::max<sim::SimTime>(
+      static_cast<sim::SimTime>(cfg_.probe_interval_rtts *
+                                static_cast<double>(rtt_.srtt())),
+      kern::kJiffy);
+
+  std::vector<McMember*> lacking;
+  members_.for_each([&](McMember& m) {
+    if (seq_before(m.next_expected, release_seq) &&
+        now - m.last_probed >= spacing) {
+      lacking.push_back(&m);
+    }
+  });
+  if (lacking.empty()) return;
+
+  stats_.probe_rounds++;
+  if (cfg_.mcast_probe_threshold > 0 &&
+      lacking.size() > cfg_.mcast_probe_threshold) {
+    // §6 future work (2): one multicast probe instead of a unicast storm.
+    emit_control_packet(PacketType::kProbe, group_.addr, release_seq,
+                        rate_.rate(), 0);
+    stats_.probes_sent++;
+    for (McMember* m : lacking) {
+      m->last_probed = now;
+      m->probe_seq = release_seq;
+    }
+    return;
+  }
+  for (McMember* m : lacking) {
+    emit_control_packet(PacketType::kProbe, m->addr, release_seq,
+                        rate_.rate(), 0);
+    stats_.probes_sent++;
+    m->last_probed = now;
+    m->probe_seq = release_seq;
+  }
+}
+
+// --------------------------------------------------------------------
+// Feedback processor (hrmc_master_rcv)
+// --------------------------------------------------------------------
+
+void HrmcSender::rx(kern::SkBuffPtr skb) {
+  auto h = read_header(*skb);
+  if (!h || h->dport != local_port_) {
+    stats_.bad_packets++;
+    return;
+  }
+  const net::Addr from = skb->saddr;
+  switch (h->type) {
+    case PacketType::kNak: process_nak(*h, from); break;
+    case PacketType::kControl: process_control(*h, from); break;
+    case PacketType::kUpdate: process_update(*h, from); break;
+    case PacketType::kJoin: process_join(*h, from); break;
+    case PacketType::kLeave: process_leave(*h, from); break;
+    default:
+      stats_.bad_packets++;
+      break;
+  }
+  try_advance_window();
+  arm_transmit_timer();
+}
+
+McMember* HrmcSender::refresh_member(net::Addr addr, Seq next_expected,
+                                     bool solicited) {
+  McMember* m = members_.find(addr);
+  if (m == nullptr) {
+    // Feedback from a receiver whose JOIN we never saw; adopt it rather
+    // than lose reliability.
+    m = members_.add(addr, next_expected);
+  }
+  const sim::SimTime now = host_.scheduler().now();
+  m->next_expected = seq_max(m->next_expected, next_expected);
+  m->heard_from = true;
+  m->last_heard = now;
+  if (m->probe_seq != 0) {
+    if (solicited) {
+      // A marked probe response: an unambiguous RTT sample. (Unsolicited
+      // feedback crossing the probe in flight must NOT be timed — with
+      // many receivers those crossings are constant and would collapse
+      // the estimate toward zero.)
+      rtt_.sample(now - m->last_probed);
+      m->probe_seq = 0;
+    } else if (seq_after_eq(next_expected, m->probe_seq)) {
+      // Unsolicited, but it confirms everything the probe asked about.
+      m->probe_seq = 0;
+    }
+  }
+  return m;
+}
+
+bool HrmcSender::take_rtt_sample_for(Seq seq, sim::SimTime now) {
+  const auto offer = [&](sim::SimTime sent_at, std::uint8_t tries) {
+    const sim::SimTime sample = now - sent_at;
+    // Karn's rule: retransmitted data gives ambiguous samples. Beyond
+    // that, feedback can reference data sent arbitrarily long ago (a
+    // PROBE- or KEEPALIVE-triggered NAK names an old loss); such a
+    // delay is not a round trip — but staleness only ever inflates a
+    // sample, so a sample *below* the current estimate is always real
+    // evidence and is accepted. Upward movement is accepted only while
+    // feedback timing is the estimator's source (RMC mode / bootstrap),
+    // bounded by 2x RTO; in steady H-RMC the upward direction belongs
+    // to solicited probe responses.
+    const bool downward = sample < rtt_.srtt();
+    const bool upward_ok =
+        !rtt_.seeded() ||  // bootstrap: the first coarse sample is what
+                           // unsticks a wrong initial estimate
+        (feedback_timing_wanted() && sample <= 2 * rtt_.rto());
+    rtt_.sample(sample,
+                /*from_retransmit=*/tries > 1 || !(downward || upward_ok));
+  };
+  for (std::size_t i = 0; i < first_unsent_; ++i) {
+    const TxRecord& rec = write_queue_[i];
+    if (seq_before_eq(rec.seq_end, seq)) continue;
+    if (seq_before(seq, rec.seq_begin)) break;
+    offer(rec.last_sent, rec.tries);
+    return true;
+  }
+  // Fall back to the released-data log (most recent first).
+  for (auto it = sent_log_.rbegin(); it != sent_log_.rend(); ++it) {
+    if (seq_before(seq, it->begin)) continue;
+    if (seq_before_eq(it->end, seq)) break;  // older than anything logged
+    offer(it->last_sent, it->tries);
+    return true;
+  }
+  return false;
+}
+
+sim::SimTime HrmcSender::send_time_of(Seq seq) const {
+  for (std::size_t i = 0; i < first_unsent_; ++i) {
+    const TxRecord& rec = write_queue_[i];
+    if (seq_before_eq(rec.seq_end, seq)) continue;
+    if (seq_before(seq, rec.seq_begin)) break;
+    return rec.last_sent;
+  }
+  for (auto it = sent_log_.rbegin(); it != sent_log_.rend(); ++it) {
+    if (seq_before(seq, it->begin)) continue;
+    if (seq_before_eq(it->end, seq)) break;
+    return it->last_sent;
+  }
+  return -1;
+}
+
+void HrmcSender::queue_retransmission(Seq from, Seq to) {
+  if (!seq_before(from, to)) return;
+  retrans_queue_.push_back(RetransRange{from, to});
+  if (!retrans_timer_.pending()) retrans_timer_.mod_timer_in(1);
+}
+
+void HrmcSender::process_nak(const Header& h, net::Addr from) {
+  stats_.naks_received++;
+  // A probe-solicited NAK (URG mark) answers that probe; refresh_member
+  // times it cleanly against the probe's send time, and a data-based
+  // sample would mis-attribute the old loss as a round trip.
+  const bool answers_probe = h.urg;
+  refresh_member(from, h.seq, h.urg);
+
+  const Seq range_from = h.rate;  // NAK reuses the rate field (wire.hpp)
+  const Seq range_to = range_from + h.length;
+  // Freshness is judged against the RTO as it stood *before* this NAK's
+  // own timing feeds the estimator (a stale bootstrap sample would
+  // otherwise inflate the RTO enough to call itself fresh).
+  const sim::SimTime fresh_bound = 2 * rtt_.rto() + kern::kJiffy;
+  if (!answers_probe) {
+    // RTT from the NAK'd data's send time (window first, then the
+    // released-data log). This is a sound sample source: a NAK cannot
+    // arrive earlier than one detection delay plus one round trip after
+    // the missing data was sent. (RMC "estimates the worst RTT based on
+    // incoming NAKs and rate-reduce requests"; rate requests reference
+    // rcv_nxt, whose packet may be freshly in flight, so only the NAK's
+    // missing-range timing is used here.)
+    take_rtt_sample_for(range_from, host_.scheduler().now());
+  }
+
+  if (seq_before_eq(range_to, snd_wnd_)) {
+    // Entire request is below the window: the data is gone. Inform the
+    // receiver (NAK_ERR) — the RMC reliability gap, surfaced.
+    emit_control_packet(PacketType::kNakErr, from, range_from, 0, h.length);
+    stats_.nak_errs_sent++;
+  } else {
+    if (seq_before(range_from, snd_wnd_)) {
+      // Front of the request is gone; the rest is retransmittable.
+      emit_control_packet(PacketType::kNakErr, from, range_from, 0,
+                          static_cast<std::uint32_t>(
+                              seq_diff(range_from, snd_wnd_)));
+      stats_.nak_errs_sent++;
+    }
+    queue_retransmission(seq_max(range_from, snd_wnd_), range_to);
+  }
+
+  // The multiplicative decrease applies only to *fresh* loss — a NAK
+  // referencing data sent long ago (a late joiner catching up, a probed
+  // straggler) says nothing about current congestion, and reacting to a
+  // catch-up NAK stream would pin the rate at the minimum.
+  const sim::SimTime sent_at = send_time_of(range_from);
+  const sim::SimTime now = host_.scheduler().now();
+  const bool fresh = sent_at >= 0 && now - sent_at <= fresh_bound;
+  if (fresh &&
+      rate_.on_negative_feedback(
+          now, static_cast<sim::SimTime>(cfg_.rate_cut_holdoff_rtts *
+                                         static_cast<double>(rtt_.srtt())))) {
+    stats_.rate_cuts++;
+  }
+}
+
+void HrmcSender::process_control(const Header& h, net::Addr from) {
+  stats_.rate_requests_received++;
+  refresh_member(from, h.seq, /*solicited=*/false);
+  const sim::SimTime now = host_.scheduler().now();
+  if (h.urg) {
+    stats_.urgent_requests_received++;
+    stats_.urgent_stops++;
+    stats_.slow_start_entries++;
+    rate_.on_urgent(now, rtt_.srtt());
+  } else {
+    if (rate_.on_negative_feedback(
+            now,
+            static_cast<sim::SimTime>(cfg_.rate_cut_holdoff_rtts *
+                                      static_cast<double>(rtt_.srtt())),
+            h.rate)) {
+      stats_.rate_cuts++;
+    }
+  }
+}
+
+void HrmcSender::process_update(const Header& h, net::Addr from) {
+  stats_.updates_received++;
+  refresh_member(from, h.seq, /*solicited=*/h.urg);
+}
+
+void HrmcSender::process_join(const Header& h, net::Addr from) {
+  stats_.joins_received++;
+  // A JOIN answers the first data packet the receiver saw: it carries
+  // the only RTT evidence the sender gets from loss-free receivers in
+  // RMC mode (worst-RTT estimation starts here).
+  take_rtt_sample_for(h.seq, host_.scheduler().now());
+  members_.add(from, seq_max(h.seq, cfg_.initial_seq));
+  emit_control_packet(PacketType::kJoinResponse, from, snd_nxt_,
+                      rate_.rate(), 0, /*urg=*/false, /*fin=*/false);
+}
+
+void HrmcSender::process_leave(const Header& h, net::Addr from) {
+  (void)h;
+  stats_.leaves_received++;
+  members_.remove(from);
+  emit_control_packet(PacketType::kLeaveResponse, from, snd_nxt_, 0, 0);
+}
+
+// --------------------------------------------------------------------
+// Keepalive controller (ka_timer)
+// --------------------------------------------------------------------
+
+void HrmcSender::note_forward_activity() {
+  last_forward_send_ = host_.scheduler().now();
+  ka_period_ = cfg_.keepalive_init;
+  ka_timer_.mod_timer_in(ka_period_);
+}
+
+void HrmcSender::keepalive_fire() {
+  const sim::SimTime now = host_.scheduler().now();
+  const sim::SimTime idle = now - last_forward_send_;
+  if (idle >= kern::from_jiffies(ka_period_)) {
+    // KEEPALIVE carries the last *transmitted* sequence so receivers can
+    // detect a lost tail; after close() it also carries FIN.
+    const bool all_sent = first_unsent_ >= write_queue_.size();
+    emit_control_packet(PacketType::kKeepalive, group_.addr, snd_sent_,
+                        rate_.rate(), 0, /*urg=*/false,
+                        /*fin=*/fin_closed_ && all_sent);
+    stats_.keepalives_sent++;
+    ka_period_ = std::min<kern::Jiffies>(ka_period_ * 2, cfg_.keepalive_max);
+  }
+  ka_timer_.mod_timer_in(ka_period_);
+}
+
+// --------------------------------------------------------------------
+// Packet construction
+// --------------------------------------------------------------------
+
+void HrmcSender::emit_control_packet(PacketType type, net::Addr dst_addr,
+                                     Seq seq, std::uint32_t rate,
+                                     std::uint32_t length, bool urg,
+                                     bool fin) {
+  kern::SkBuffPtr skb = kern::SkBuff::alloc(0, Header::kSize + 44);
+  Header h;
+  h.sport = local_port_;
+  h.dport = group_.port;
+  h.seq = seq;
+  h.rate = rate;
+  h.length = length;
+  h.tries = 1;
+  h.type = type;
+  h.urg = urg;
+  h.fin = fin;
+  write_header(*skb, h);
+  skb->daddr = dst_addr;
+  skb->protocol = kIpProtoHrmc;
+  host_.send(std::move(skb));
+}
+
+}  // namespace hrmc::proto

@@ -1,0 +1,223 @@
+// H-RMC sender (Figure 8 of the paper).
+//
+// Five cooperating tasks, as in the driver:
+//  - Application Interface (hrmc_sendmsg): fragments the byte stream into
+//    DATA packets and inserts them into the send window (write_queue);
+//    packets beyond the rate window simply wait unsent in the queue (the
+//    paper's "backlog").
+//  - Transmitter (transmit_timer, every jiffy): paces DATA out of the
+//    window under the rate budget, checks whether the window can be
+//    advanced, and unicasts PROBEs to receivers the sender lacks
+//    information about before releasing buffer space.
+//  - Feedback Processor (hrmc_master_rcv): NAKs, CONTROL (rate requests)
+//    and UPDATEs; every one refreshes the per-receiver membership state.
+//  - Retransmitter (retrans_timer): services the retransmission request
+//    list, with duplicate-request collapsing.
+//  - Keepalive Controller (ka_timer): KEEPALIVEs with exponential backoff
+//    during idle periods and window stalls.
+//
+// Mode::kRmc disables membership gating: buffers release unconditionally
+// after MINBUF RTTs and unsatisfiable NAKs earn a NAK_ERR — the original
+// RMC protocol, used as the baseline throughout the evaluation.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <span>
+
+#include "hrmc/config.hpp"
+#include "hrmc/member.hpp"
+#include "hrmc/rate.hpp"
+#include "hrmc/rtt.hpp"
+#include "hrmc/stats.hpp"
+#include "hrmc/wire.hpp"
+#include "kern/timer.hpp"
+#include "net/host.hpp"
+
+namespace hrmc::proto {
+
+class HrmcSender final : public net::Transport {
+ public:
+  /// Binds to `local.port` on `host` and targets multicast `group`.
+  HrmcSender(net::Host& host, const Config& cfg, net::Port local_port,
+             net::Endpoint group);
+  ~HrmcSender() override;
+
+  HrmcSender(const HrmcSender&) = delete;
+  HrmcSender& operator=(const HrmcSender&) = delete;
+
+  // --- Application interface (hrmc_sendmsg / close) ---
+
+  /// Appends bytes to the outgoing stream. Accepts at most the free send
+  /// buffer space; returns the number of bytes taken (0 = would block).
+  /// `on_writable` fires when space frees up.
+  std::size_t send(std::span<const std::uint8_t> data);
+
+  /// No more data. The final DATA packet carries FIN; if everything was
+  /// already transmitted, KEEPALIVEs carry FIN so receivers still learn
+  /// the end of stream.
+  void close();
+
+  /// Cancels all timers. The keepalive controller otherwise runs for the
+  /// life of the socket (as in the driver), which would keep an
+  /// open-ended simulation from draining its event queue.
+  void stop();
+
+  /// All data (and FIN) accepted, transmitted, and released from the
+  /// send buffer. Under Mode::kHrmc release implies every member
+  /// confirmed reception, so this is "everyone has everything".
+  [[nodiscard]] bool finished() const;
+
+  [[nodiscard]] std::size_t free_space() const {
+    return cfg_.sndbuf - queued_bytes_;
+  }
+  [[nodiscard]] std::size_t queued_bytes() const { return queued_bytes_; }
+
+  /// Space-available callback (edge-triggered: fires when a release
+  /// creates room in a previously full buffer).
+  std::function<void()> on_writable;
+  /// Fires once when finished() first becomes true.
+  std::function<void()> on_finished;
+
+  // --- Introspection for tests, benches and examples ---
+  [[nodiscard]] const SenderStats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] const MemberTable& members() const { return members_; }
+  [[nodiscard]] std::uint32_t current_rate() const { return rate_.rate(); }
+  [[nodiscard]] sim::SimTime srtt() const { return rtt_.srtt(); }
+  [[nodiscard]] kern::Seq snd_wnd() const { return snd_wnd_; }
+  [[nodiscard]] kern::Seq snd_nxt() const { return snd_nxt_; }
+  [[nodiscard]] kern::Seq snd_sent() const { return snd_sent_; }
+  [[nodiscard]] bool fin_queued() const { return fin_closed_; }
+
+  // --- net::Transport (hrmc_master_rcv entry) ---
+  void rx(kern::SkBuffPtr skb) override;
+
+ private:
+  /// One DATA packet in the send window.
+  struct TxRecord {
+    kern::Seq seq_begin = 0;
+    kern::Seq seq_end = 0;  ///< one past the last byte
+    kern::SkBuffPtr payload;
+    sim::SimTime first_sent = 0;
+    sim::SimTime last_sent = 0;
+    sim::SimTime last_retrans = kNever;
+    std::uint8_t tries = 0;
+    bool sent = false;
+    bool fin = false;
+    bool release_counted = false;  ///< Fig 3 metric: count each packet once
+  };
+  static constexpr sim::SimTime kNever = -(1LL << 60);
+
+  struct RetransRange {
+    kern::Seq from = 0;
+    kern::Seq to = 0;
+  };
+
+  /// Send-time bookkeeping retained past buffer release, so feedback
+  /// that references already-released data can still produce an RTT
+  /// sample (crucial for RMC mode on long paths: without it the very
+  /// feedback that proves the hold time too short carries no timing).
+  struct SentLogEntry {
+    kern::Seq begin = 0;
+    kern::Seq end = 0;
+    sim::SimTime last_sent = 0;
+    std::uint8_t tries = 0;
+  };
+
+  [[nodiscard]] std::size_t payload_len(const TxRecord& r) const {
+    return static_cast<std::size_t>(kern::seq_diff(r.seq_begin, r.seq_end));
+  }
+
+  // Transmitter machinery.
+  void arm_transmit_timer();
+  void transmit_pump();
+  std::uint64_t service_retransmissions(std::uint64_t budget);
+  std::uint64_t send_new_data(std::uint64_t budget);
+  void try_advance_window();
+  void probe_lacking_members(kern::Seq release_seq);
+  void transmit_record(TxRecord& rec, bool retransmission);
+
+  // Feedback processing.
+  void process_nak(const Header& h, net::Addr from);
+  void process_control(const Header& h, net::Addr from);
+  void process_update(const Header& h, net::Addr from);
+  void process_join(const Header& h, net::Addr from);
+  void process_leave(const Header& h, net::Addr from);
+  McMember* refresh_member(net::Addr addr, kern::Seq next_expected,
+                           bool solicited);
+  /// Returns false if no window record covers `seq` (nothing to time).
+  bool take_rtt_sample_for(kern::Seq seq, sim::SimTime now);
+  /// Most recent transmission time of the packet containing `seq`
+  /// (window first, then the released-data log); -1 if unknown.
+  [[nodiscard]] sim::SimTime send_time_of(kern::Seq seq) const;
+
+  /// Whether RTT should be estimated from data-referencing feedback
+  /// (NAK / CONTROL / JOIN send-time lookups). In H-RMC mode, solicited
+  /// PROBE responses are the authoritative, unambiguous RTT source, so
+  /// feedback timing is used only to bootstrap the estimator; a
+  /// receiver catching up on old data would otherwise feed arbitrarily
+  /// stale "samples". RMC mode has no probes and must rely on feedback
+  /// timing throughout, as the paper describes.
+  [[nodiscard]] bool feedback_timing_wanted() const {
+    return cfg_.mode == Mode::kRmc || !rtt_.seeded();
+  }
+  void queue_retransmission(kern::Seq from, kern::Seq to);
+
+  // Keepalive controller.
+  void keepalive_fire();
+  void note_forward_activity();
+  void maybe_report_finished();
+
+  // Packet construction.
+  void emit_control_packet(PacketType type, net::Addr dst_addr,
+                           kern::Seq seq, std::uint32_t rate,
+                           std::uint32_t length, bool urg = false,
+                           bool fin = false);
+
+  net::Host& host_;
+  Config cfg_;
+  net::Port local_port_;
+  net::Endpoint group_;
+
+  // Send window (write_queue): records [0, first_unsent_) are in flight
+  // or released-pending; [first_unsent_, size) are the backlog.
+  std::deque<TxRecord> write_queue_;
+  std::size_t first_unsent_ = 0;
+  std::size_t queued_bytes_ = 0;
+
+  kern::Seq snd_wnd_ = 0;   ///< first byte still buffered
+  kern::Seq snd_nxt_ = 0;   ///< next byte to assign
+  kern::Seq snd_sent_ = 0;  ///< end of highest byte sent
+  bool fin_closed_ = false;
+  bool finished_reported_ = false;
+
+  MemberTable members_;
+  RateController rate_;
+  RttEstimator rtt_;
+  SenderStats stats_;
+
+  // FEC accumulation (extension; active when cfg_.fec_group > 0): XOR
+  // of the payloads of the current group of full-MSS first transmissions.
+  void fec_accumulate(const TxRecord& rec);
+  void fec_reset() { fec_count_ = 0; }
+  std::vector<std::uint8_t> fec_xor_;
+  std::size_t fec_count_ = 0;
+  kern::Seq fec_begin_ = 0;
+
+  std::vector<RetransRange> retrans_queue_;
+  std::deque<SentLogEntry> sent_log_;
+  std::uint64_t budget_carry_ = 0;
+  sim::SimTime last_pump_ = 0;
+  std::size_t dev_credit_ = 0;  ///< per-pump device-queue allowance
+
+  static constexpr std::size_t kSentLogCap = 4096;
+
+  kern::TimerList transmit_timer_;
+  kern::TimerList retrans_timer_;
+  kern::TimerList ka_timer_;
+  kern::Jiffies ka_period_;
+  sim::SimTime last_forward_send_ = 0;
+};
+
+}  // namespace hrmc::proto

@@ -1,0 +1,71 @@
+// Protocol statistics, the raw material of every figure in §5.
+#pragma once
+
+#include <cstdint>
+
+namespace hrmc::proto {
+
+struct SenderStats {
+  // Transmission
+  std::uint64_t data_packets_sent = 0;
+  std::uint64_t data_bytes_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t retrans_bytes = 0;
+  std::uint64_t keepalives_sent = 0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probe_rounds = 0;  ///< release attempts that had to probe
+
+  // Feedback arriving at the sender (Fig 11/13/15b/16b count these)
+  std::uint64_t naks_received = 0;
+  std::uint64_t rate_requests_received = 0;
+  std::uint64_t urgent_requests_received = 0;
+  std::uint64_t updates_received = 0;
+  std::uint64_t joins_received = 0;
+  std::uint64_t leaves_received = 0;
+
+  // Reliability bookkeeping
+  std::uint64_t nak_errs_sent = 0;  ///< RMC mode only: request past buffer
+
+  // Fig 3 metric: buffer-release decisions and how many were taken with
+  // complete receiver information already in hand.
+  std::uint64_t release_decisions = 0;
+  std::uint64_t releases_with_complete_info = 0;
+
+  // Rate controller activity
+  std::uint64_t rate_cuts = 0;
+  std::uint64_t urgent_stops = 0;
+  std::uint64_t slow_start_entries = 0;
+
+  std::uint64_t packets_released = 0;
+  std::uint64_t bytes_released = 0;
+  std::uint64_t bad_packets = 0;  ///< checksum / parse failures
+
+  // FEC extension (§6 future work (4))
+  std::uint64_t fec_packets_sent = 0;
+};
+
+struct ReceiverStats {
+  std::uint64_t data_packets_received = 0;
+  std::uint64_t data_bytes_received = 0;
+  std::uint64_t duplicate_packets = 0;
+  std::uint64_t out_of_order_packets = 0;
+  std::uint64_t window_overflow_drops = 0;
+
+  std::uint64_t naks_sent = 0;
+  std::uint64_t naks_suppressed = 0;
+  std::uint64_t rate_requests_sent = 0;
+  std::uint64_t urgent_requests_sent = 0;
+  std::uint64_t updates_sent = 0;
+  std::uint64_t probes_received = 0;
+  std::uint64_t keepalives_received = 0;
+  std::uint64_t nak_errs_received = 0;
+
+  std::uint64_t bytes_delivered = 0;  ///< handed to the application
+  std::uint64_t bad_packets = 0;
+
+  // FEC extension (§6 future work (4))
+  std::uint64_t fec_packets_received = 0;
+  std::uint64_t fec_recoveries = 0;  ///< packets rebuilt without a NAK
+};
+
+}  // namespace hrmc::proto

@@ -1,0 +1,29 @@
+#include "kern/checksum.hpp"
+
+namespace hrmc::kern {
+namespace {
+
+std::uint32_t sum16(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return sum;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return static_cast<std::uint16_t>(~sum16(data) & 0xffff);
+}
+
+bool checksum_ok(std::span<const std::uint8_t> data) {
+  return sum16(data) == 0xffff;
+}
+
+}  // namespace hrmc::kern

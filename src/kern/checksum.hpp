@@ -1,0 +1,18 @@
+// RFC 1071 Internet checksum — the Checksum field of the RMC/H-RMC
+// header (Figure 1) is computed with the same algorithm TCP uses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hrmc::kern {
+
+/// One's-complement sum of the data, folded to 16 bits. Returns the
+/// checksum value to *store* (i.e. already complemented). Computing the
+/// checksum over a block whose checksum field holds this value yields 0.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Verifies a block that contains its own checksum: sums to zero iff OK.
+bool checksum_ok(std::span<const std::uint8_t> data);
+
+}  // namespace hrmc::kern

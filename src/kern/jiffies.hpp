@@ -1,0 +1,32 @@
+// Jiffy clock: the 10 ms kernel tick every protocol timer in the paper is
+// expressed in (HZ = 100 on the Linux 2.1 kernels the driver targeted).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace hrmc::kern {
+
+/// Kernel ticks per second.
+inline constexpr std::int64_t kHz = 100;
+
+/// Duration of one jiffy in simulation time (10 ms).
+inline constexpr sim::SimTime kJiffy = sim::kSecond / kHz;
+
+using Jiffies = std::int64_t;
+
+/// Converts simulation time to whole jiffies (floor).
+constexpr Jiffies to_jiffies(sim::SimTime t) { return t / kJiffy; }
+
+/// Converts a jiffy count to simulation time.
+constexpr sim::SimTime from_jiffies(Jiffies j) { return j * kJiffy; }
+
+/// Rounds a time up to the next jiffy boundary — kernel timers only fire
+/// on ticks, and reproducing that granularity matters for the protocol's
+/// pacing behaviour.
+constexpr sim::SimTime ceil_to_jiffy(sim::SimTime t) {
+  return ((t + kJiffy - 1) / kJiffy) * kJiffy;
+}
+
+}  // namespace hrmc::kern

@@ -1,0 +1,38 @@
+// Modular 32-bit sequence-number arithmetic.
+//
+// RMC/H-RMC number the byte stream with 32-bit sequence numbers exactly
+// like TCP; long transfers wrap, so all comparisons must be modular.
+// These are the kernel's before()/after() helpers.
+#pragma once
+
+#include <cstdint>
+
+namespace hrmc::kern {
+
+using Seq = std::uint32_t;
+
+/// True if sequence number a is strictly earlier than b (modular).
+constexpr bool seq_before(Seq a, Seq b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+/// True if a is strictly later than b (modular).
+constexpr bool seq_after(Seq a, Seq b) { return seq_before(b, a); }
+
+constexpr bool seq_before_eq(Seq a, Seq b) { return !seq_after(a, b); }
+constexpr bool seq_after_eq(Seq a, Seq b) { return !seq_before(a, b); }
+
+/// True if lo <= s <= hi in modular order (assumes hi - lo < 2^31).
+constexpr bool seq_between(Seq s, Seq lo, Seq hi) {
+  return seq_after_eq(s, lo) && seq_before_eq(s, hi);
+}
+
+/// Signed distance from a to b: positive if b is ahead of a.
+constexpr std::int32_t seq_diff(Seq a, Seq b) {
+  return static_cast<std::int32_t>(b - a);
+}
+
+constexpr Seq seq_max(Seq a, Seq b) { return seq_after(a, b) ? a : b; }
+constexpr Seq seq_min(Seq a, Seq b) { return seq_before(a, b) ? a : b; }
+
+}  // namespace hrmc::kern

@@ -1,0 +1,73 @@
+#include "kern/skbuff.hpp"
+
+namespace hrmc::kern {
+
+SkBuffPtr SkBuff::alloc(std::size_t size, std::size_t headroom) {
+  return SkBuffPtr(new SkBuff(size + headroom, headroom));
+}
+
+SkBuffPtr SkBuff::clone() const {
+  auto copy = SkBuffPtr(new SkBuff(*this));
+  return copy;
+}
+
+std::uint8_t* SkBuff::push(std::size_t n) {
+  if (n > head_) throw std::logic_error("SkBuff::push: headroom exhausted");
+  head_ -= n;
+  len_ += n;
+  return data();
+}
+
+std::uint8_t* SkBuff::pull(std::size_t n) {
+  if (n > len_) throw std::logic_error("SkBuff::pull: past end of data");
+  head_ += n;
+  len_ -= n;
+  return data();
+}
+
+std::uint8_t* SkBuff::put(std::size_t n) {
+  if (n > tailroom()) throw std::logic_error("SkBuff::put: tailroom exhausted");
+  std::uint8_t* at = data() + len_;
+  len_ += n;
+  return at;
+}
+
+void SkBuff::trim(std::size_t n) {
+  if (n > len_) throw std::logic_error("SkBuff::trim: growing not allowed");
+  len_ = n;
+}
+
+void SkBuffQueue::push_back(SkBuffPtr skb) {
+  bytes_ += skb->size();
+  items_.push_back(std::move(skb));
+}
+
+void SkBuffQueue::push_front(SkBuffPtr skb) {
+  bytes_ += skb->size();
+  items_.push_front(std::move(skb));
+}
+
+SkBuffPtr SkBuffQueue::pop_front() {
+  if (items_.empty()) return nullptr;
+  SkBuffPtr skb = std::move(items_.front());
+  items_.pop_front();
+  bytes_ -= skb->size();
+  return skb;
+}
+
+void SkBuffQueue::clear() {
+  items_.clear();
+  bytes_ = 0;
+}
+
+SkBuffQueue::iterator SkBuffQueue::erase(iterator it) {
+  bytes_ -= (*it)->size();
+  return items_.erase(it);
+}
+
+void SkBuffQueue::insert(iterator it, SkBuffPtr skb) {
+  bytes_ += skb->size();
+  items_.insert(it, std::move(skb));
+}
+
+}  // namespace hrmc::kern

@@ -1,0 +1,135 @@
+// sk_buff analogue — the packet buffer the protocol code is written
+// against, mirroring the Linux structure the paper's kernel driver used
+// (headroom for layered header push/pull, addressing metadata, and a
+// byte-accounted FIFO queue type below it).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hrmc::kern {
+
+class SkBuff;
+using SkBuffPtr = std::shared_ptr<SkBuff>;
+
+/// A packet buffer: one contiguous allocation with reserved headroom so
+/// each protocol layer can push its header without copying the payload.
+///
+///   [ headroom | data ............ | tailroom ]
+///              ^data()             ^data()+size()
+class SkBuff {
+ public:
+  /// Allocates a buffer able to hold `size` payload bytes plus
+  /// `headroom` bytes of reserved space in front.
+  static SkBuffPtr alloc(std::size_t size, std::size_t headroom = 64);
+
+  /// Deep copy (used at multicast fan-out points in routers).
+  [[nodiscard]] SkBuffPtr clone() const;
+
+  /// Payload view.
+  [[nodiscard]] std::uint8_t* data() { return buf_.data() + head_; }
+  [[nodiscard]] const std::uint8_t* data() const { return buf_.data() + head_; }
+  [[nodiscard]] std::size_t size() const { return len_; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return {data(), len_};
+  }
+  [[nodiscard]] std::span<std::uint8_t> mutable_bytes() {
+    return {data(), len_};
+  }
+
+  [[nodiscard]] std::size_t headroom() const { return head_; }
+  [[nodiscard]] std::size_t tailroom() const {
+    return buf_.size() - head_ - len_;
+  }
+
+  /// Prepends `n` bytes (consumes headroom); returns pointer to the new
+  /// front. Throws if insufficient headroom — protocol bugs should be loud.
+  std::uint8_t* push(std::size_t n);
+
+  /// Removes `n` bytes from the front (e.g. after parsing a header).
+  std::uint8_t* pull(std::size_t n);
+
+  /// Extends the payload by `n` bytes at the tail; returns pointer to the
+  /// newly added region.
+  std::uint8_t* put(std::size_t n);
+
+  /// Truncates the payload to `n` bytes.
+  void trim(std::size_t n);
+
+  // --- Addressing / metadata (mirrors sk_buff fields the driver used) ---
+  std::uint32_t saddr = 0;    ///< source IPv4 address
+  std::uint32_t daddr = 0;    ///< destination IPv4 address (may be mcast)
+  std::uint8_t protocol = 0;  ///< transport protocol id
+  std::uint8_t ttl = 64;      ///< forwarding budget
+  sim::SimTime stamp = 0;     ///< timestamp set on transmit/arrival
+  std::uint64_t serial = 0;   ///< unique id for tracing (set by net layer)
+
+  /// Total on-wire size used by links/queues for serialization and byte
+  /// accounting: payload plus the simulated lower-layer (IP + MAC) framing.
+  [[nodiscard]] std::size_t wire_size() const {
+    return len_ + kLowerLayerBytes;
+  }
+
+  /// Bytes the simulation charges for IP + Ethernet framing per packet.
+  static constexpr std::size_t kLowerLayerBytes = 38;
+
+ private:
+  SkBuff(std::size_t cap, std::size_t headroom)
+      : buf_(cap), head_(headroom), len_(0) {}
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_;
+  std::size_t len_;
+};
+
+/// sk_buff_head analogue: FIFO queue of buffers with O(1) byte accounting,
+/// used for the write/backlog/receive/out-of-order queues in the protocol.
+class SkBuffQueue {
+ public:
+  using iterator = std::deque<SkBuffPtr>::iterator;
+  using const_iterator = std::deque<SkBuffPtr>::const_iterator;
+
+  void push_back(SkBuffPtr skb);
+  void push_front(SkBuffPtr skb);
+
+  /// Pops the front buffer; returns nullptr if empty.
+  SkBuffPtr pop_front();
+
+  [[nodiscard]] const SkBuffPtr& front() const { return items_.front(); }
+  [[nodiscard]] const SkBuffPtr& back() const { return items_.back(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t packets() const { return items_.size(); }
+
+  /// Payload bytes queued (header bytes included; framing not counted) —
+  /// this is the figure checked against sndbuf/rcvbuf limits, as the
+  /// kernel checks sk->wmem_alloc.
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+
+  void clear();
+
+  [[nodiscard]] const_iterator begin() const { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const { return items_.end(); }
+  [[nodiscard]] iterator begin() { return items_.begin(); }
+  [[nodiscard]] iterator end() { return items_.end(); }
+
+  /// Removes the buffer at `it`, maintaining byte accounting. Returns the
+  /// iterator following the erased element.
+  iterator erase(iterator it);
+
+  /// Inserts before `it` (the out-of-order queue keeps packets sorted by
+  /// sequence number this way).
+  void insert(iterator it, SkBuffPtr skb);
+
+ private:
+  std::deque<SkBuffPtr> items_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace hrmc::kern

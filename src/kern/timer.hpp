@@ -1,0 +1,58 @@
+// timer_list analogue.
+//
+// The H-RMC driver hangs four of these off every socket (transmit,
+// retransmit, update, keepalive — Figure 7 of the paper). Semantics match
+// the kernel API: a timer holds an expiry in jiffies and a callback;
+// add_timer arms it, mod_timer rearms it, del_timer disarms it; expiry is
+// quantized to jiffy boundaries.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "kern/jiffies.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hrmc::kern {
+
+class TimerList {
+ public:
+  TimerList(sim::Scheduler& sched, std::function<void()> fn)
+      : sched_(&sched), fn_(std::move(fn)) {}
+
+  ~TimerList() { del_timer(); }
+  TimerList(const TimerList&) = delete;
+  TimerList& operator=(const TimerList&) = delete;
+
+  /// Arms the timer to fire at absolute jiffy `expires`. If the timer was
+  /// already pending it is rearmed (mod_timer semantics).
+  void mod_timer(Jiffies expires) {
+    del_timer();
+    const sim::SimTime when = from_jiffies(expires);
+    const sim::SimTime at = when <= sched_->now()
+                                ? ceil_to_jiffy(sched_->now() + 1)
+                                : ceil_to_jiffy(when);
+    handle_ = sched_->schedule_at(at, [this] { fn_(); });
+  }
+
+  /// Arms the timer `delta` jiffies from now.
+  void mod_timer_in(Jiffies delta) {
+    mod_timer(to_jiffies(sched_->now()) + delta);
+  }
+
+  /// Disarms the timer if pending.
+  void del_timer() { handle_.cancel(); }
+
+  [[nodiscard]] bool pending() const { return handle_.pending(); }
+
+  [[nodiscard]] Jiffies now_jiffies() const {
+    return to_jiffies(sched_->now());
+  }
+
+ private:
+  sim::Scheduler* sched_;
+  std::function<void()> fn_;
+  sim::EventHandle handle_;
+};
+
+}  // namespace hrmc::kern

@@ -1,0 +1,18 @@
+#include "net/addr.hpp"
+
+#include <cstdio>
+
+namespace hrmc::net {
+
+std::string addr_to_string(Addr a) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (a >> 24) & 0xff,
+                (a >> 16) & 0xff, (a >> 8) & 0xff, a & 0xff);
+  return buf;
+}
+
+std::string endpoint_to_string(const Endpoint& e) {
+  return addr_to_string(e.addr) + ":" + std::to_string(e.port);
+}
+
+}  // namespace hrmc::net

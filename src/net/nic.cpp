@@ -1,0 +1,79 @@
+#include "net/nic.hpp"
+
+namespace hrmc::net {
+
+Nic::Nic(sim::Scheduler& sched, std::string name, NicConfig cfg,
+         std::uint64_t loss_seed)
+    : sched_(&sched), name_(std::move(name)), cfg_(cfg), loss_rng_(loss_seed) {}
+
+void Nic::transmit(kern::SkBuffPtr skb) {
+  counters_.inc("tx_offered");
+  if (tx_queue_.size() >= cfg_.tx_ring) {
+    counters_.inc("tx_ring_drops");
+    return;
+  }
+  // Card overrun model: sustained enqueue pressure above the per-jiffy
+  // allowance — this jiffy AND the previous one — puts each excess
+  // packet at risk (Fig 13's hypothesized mechanism).
+  const kern::Jiffies j = kern::to_jiffies(sched_->now());
+  if (j != burst_jiffy_) {
+    burst_prev_ = (j == burst_jiffy_ + 1) ? burst_count_ : 0;
+    burst_jiffy_ = j;
+    burst_count_ = 0;
+  }
+  if (++burst_count_ > cfg_.overrun_burst &&
+      burst_prev_ > cfg_.overrun_burst &&
+      loss_rng_.chance(cfg_.overrun_prob)) {
+    counters_.inc("tx_overrun_drops");
+    counters_.inc("tx_ring_drops");
+    return;
+  }
+  tx_queue_.push_back(std::move(skb));
+  if (!tx_busy_) drain_tx();
+}
+
+void Nic::drain_tx() {
+  if (tx_queue_.empty()) {
+    tx_busy_ = false;
+    return;
+  }
+  tx_busy_ = true;
+  kern::SkBuffPtr skb = std::move(tx_queue_.front());
+  tx_queue_.pop_front();
+  const sim::SimTime serialize =
+      sim::transmission_time(static_cast<std::int64_t>(skb->wire_size()),
+                             cfg_.link_bps);
+  counters_.inc("tx_packets");
+  counters_.inc("tx_bytes", skb->wire_size());
+  // The packet leaves the wire after serialization; the ring keeps
+  // draining back-to-back.
+  sched_->schedule_after(
+      serialize, [this, skb = std::move(skb)]() mutable {
+        if (uplink_ != nullptr) {
+          skb->stamp = sched_->now();
+          uplink_->deliver(std::move(skb));
+        }
+        drain_tx();
+      });
+}
+
+void Nic::deliver(kern::SkBuffPtr skb) {
+  counters_.inc("rx_offered");
+  if (loss_rng_.chance(cfg_.rx_loss_rate)) {
+    counters_.inc("rx_loss_drops");
+    return;
+  }
+  counters_.inc("rx_packets");
+  counters_.inc("rx_bytes", skb->wire_size());
+  // Hold for the assigned path delay (the characteristic-group delay in
+  // the paper's simulation), then hand to the host stack.
+  sched_->schedule_after(cfg_.rx_delay,
+                         [this, skb = std::move(skb)]() mutable {
+                           if (host_ != nullptr) {
+                             skb->stamp = sched_->now();
+                             host_->deliver(std::move(skb));
+                           }
+                         });
+}
+
+}  // namespace hrmc::net

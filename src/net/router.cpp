@@ -1,0 +1,106 @@
+#include "net/router.hpp"
+
+#include <algorithm>
+
+namespace hrmc::net {
+
+Router::Router(sim::Scheduler& sched, std::string name, RouterConfig cfg,
+               std::uint64_t loss_seed)
+    : sched_(&sched), name_(std::move(name)), cfg_(cfg), loss_rng_(loss_seed) {}
+
+void Router::add_route(Addr dst, PacketSink* next) { routes_[dst] = next; }
+
+void Router::join_group(Addr group, PacketSink* next) {
+  auto& fanout = groups_[group];
+  if (std::find(fanout.begin(), fanout.end(), next) == fanout.end()) {
+    fanout.push_back(next);
+  }
+}
+
+void Router::leave_group(Addr group, PacketSink* next) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  auto& fanout = it->second;
+  fanout.erase(std::remove(fanout.begin(), fanout.end(), next), fanout.end());
+  if (fanout.empty()) groups_.erase(it);
+}
+
+bool Router::group_active(Addr group) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() && !it->second.empty();
+}
+
+void Router::deliver(kern::SkBuffPtr skb) {
+  counters_.inc("offered");
+  if (skb->ttl == 0) {
+    counters_.inc("ttl_drops");
+    return;
+  }
+  skb->ttl -= 1;
+  // One loss draw per packet at ingress, before any duplication: a loss
+  // here is correlated across every downstream receiver.
+  if (loss_rng_.chance(cfg_.loss_rate)) {
+    counters_.inc("loss_drops");
+    return;
+  }
+  if (is_multicast(skb->daddr)) {
+    auto it = groups_.find(skb->daddr);
+    if (it == groups_.end() || it->second.empty()) {
+      counters_.inc("no_group_drops");
+      return;
+    }
+    counters_.inc("mcast_forwarded");
+    const auto& fanout = it->second;
+    for (std::size_t i = 0; i + 1 < fanout.size(); ++i) {
+      enqueue(fanout[i], skb->clone());
+    }
+    enqueue(fanout.back(), std::move(skb));
+    return;
+  }
+  auto it = routes_.find(skb->daddr);
+  PacketSink* next = it != routes_.end() ? it->second : default_route_;
+  if (next == nullptr) {
+    counters_.inc("no_route_drops");
+    return;
+  }
+  counters_.inc("forwarded");
+  enqueue(next, std::move(skb));
+}
+
+void Router::enqueue(PacketSink* egress, kern::SkBuffPtr skb) {
+  // Per-egress-port output queues: a saturated forward port must not
+  // starve (or drop) traffic leaving through a different port — links
+  // are full duplex and switch ports have independent queues.
+  Port& port = ports_[egress];
+  if (port.queue.size() >= cfg_.queue_limit) {
+    counters_.inc("queue_drops");
+    return;
+  }
+  port.queue.push_back(std::move(skb));
+  if (!port.busy) service(egress, port);
+}
+
+void Router::service(PacketSink* egress, Port& port) {
+  if (port.queue.empty()) {
+    port.busy = false;
+    return;
+  }
+  port.busy = true;
+  kern::SkBuffPtr skb = std::move(port.queue.front());
+  port.queue.pop_front();
+  const sim::SimTime service_time = sim::transmission_time(
+      static_cast<std::int64_t>(skb->wire_size()), cfg_.speed_bps);
+  sched_->schedule_after(service_time,
+                         [this, egress, skb = std::move(skb)]() mutable {
+                           egress->deliver(std::move(skb));
+                           service(egress, ports_[egress]);
+                         });
+}
+
+std::size_t Router::queue_len() const {
+  std::size_t total = 0;
+  for (const auto& [sink, port] : ports_) total += port.queue.size();
+  return total;
+}
+
+}  // namespace hrmc::net

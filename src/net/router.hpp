@@ -1,0 +1,85 @@
+// Router process.
+//
+// Per the paper's simulation model: each router has a network speed, a
+// queue size, and a loss rate. Packets are queued per *egress port*,
+// given a service time according to the speed, and forwarded by
+// destination; multicast packets are duplicated inside the router as
+// necessary. The loss draw happens at ingress, *before* fan-out, so a
+// loss here is correlated across every downstream receiver — the paper
+// assigns 90% of each path's loss to the router for exactly this reason.
+//
+// Output queueing is per egress port (as in a real switch; links are
+// full duplex): a data stream saturating the downstream ports must not
+// delay or drop the receivers' feedback heading upstream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/sink.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+
+namespace hrmc::net {
+
+struct RouterConfig {
+  double speed_bps = 10e6;       ///< service rate per egress port
+  std::size_t queue_limit = 512; ///< per-port FIFO capacity in packets
+  double loss_rate = 0.0;        ///< correlated loss probability
+};
+
+class Router final : public PacketSink {
+ public:
+  Router(sim::Scheduler& sched, std::string name, RouterConfig cfg,
+         std::uint64_t loss_seed);
+
+  /// Exact-match unicast route: packets for `dst` forward to `next`.
+  void add_route(Addr dst, PacketSink* next);
+
+  /// Fallback for destinations with no exact route.
+  void set_default_route(PacketSink* next) { default_route_ = next; }
+
+  /// Adds `next` to the fan-out set for multicast group `group`.
+  void join_group(Addr group, PacketSink* next);
+
+  /// Removes `next` from the group's fan-out set.
+  void leave_group(Addr group, PacketSink* next);
+
+  /// True if the group currently has any egress here.
+  [[nodiscard]] bool group_active(Addr group) const;
+
+  void deliver(kern::SkBuffPtr skb) override;
+
+  [[nodiscard]] const sim::CounterSet& counters() const { return counters_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Total packets queued across all egress ports.
+  [[nodiscard]] std::size_t queue_len() const;
+
+ private:
+  struct Port {
+    std::deque<kern::SkBuffPtr> queue;
+    bool busy = false;
+  };
+
+  void enqueue(PacketSink* egress, kern::SkBuffPtr skb);
+  void service(PacketSink* egress, Port& port);
+
+  sim::Scheduler* sched_;
+  std::string name_;
+  RouterConfig cfg_;
+  sim::Rng loss_rng_;
+
+  std::unordered_map<Addr, PacketSink*> routes_;
+  std::unordered_map<Addr, std::vector<PacketSink*>> groups_;
+  PacketSink* default_route_ = nullptr;
+
+  std::unordered_map<PacketSink*, Port> ports_;
+  sim::CounterSet counters_;
+};
+
+}  // namespace hrmc::net

@@ -1,0 +1,17 @@
+// The one interface every forwarding element implements.
+#pragma once
+
+#include "kern/skbuff.hpp"
+
+namespace hrmc::net {
+
+/// Anything a packet can be handed to: routers, NICs, host stacks.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+
+  /// Takes ownership of the buffer. May drop, queue, or forward it.
+  virtual void deliver(kern::SkBuffPtr skb) = 0;
+};
+
+}  // namespace hrmc::net

@@ -1,0 +1,59 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace hrmc::sim {
+
+EventHandle Scheduler::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::logic_error("Scheduler::schedule_at: time " +
+                           format_time(when) + " is in the past (now " +
+                           format_time(now_) + ")");
+  }
+  auto alive = std::make_shared<bool>(true);
+  EventHandle handle{std::weak_ptr<bool>(alive)};
+  queue_.push(Entry{when, next_seq_++, std::move(fn), std::move(alive)});
+  return handle;
+}
+
+bool Scheduler::step(SimTime horizon) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.when > horizon) return false;
+    // Pop by move: priority_queue::top() is const, so steal via const_cast
+    // of the known-mutable container element, then pop. This is the
+    // standard idiom to avoid copying the std::function.
+    Entry entry = std::move(const_cast<Entry&>(top));
+    queue_.pop();
+    if (!*entry.alive) continue;  // cancelled tombstone
+    assert(entry.when >= now_);
+    now_ = entry.when;
+    *entry.alive = false;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::run_until(SimTime horizon) {
+  std::uint64_t n = 0;
+  while (step(horizon)) ++n;
+  if (horizon != kTimeInfinity && now_ < horizon) {
+    // Anything left in the queue lies beyond the horizon; idle time
+    // passes up to it.
+    now_ = horizon;
+  }
+  return n;
+}
+
+std::uint64_t Scheduler::run_while(const std::function<bool()>& keep_going,
+                                   SimTime horizon) {
+  std::uint64_t n = 0;
+  while (keep_going() && step(horizon)) ++n;
+  return n;
+}
+
+}  // namespace hrmc::sim

@@ -1,0 +1,105 @@
+// Deterministic discrete-event scheduler.
+//
+// This is the engine underneath every experiment in the repository: hosts,
+// NICs and routers are all expressed as events scheduled here (the paper
+// used CSIM processes; we use an event queue, which gives identical
+// modelling power plus cross-platform determinism).
+//
+// Ordering guarantee: events fire in nondecreasing time, and events with
+// equal timestamps fire in the order they were scheduled (FIFO tie-break
+// via a monotone sequence number). This makes every run a pure function
+// of (scenario, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace hrmc::sim {
+
+class Scheduler;
+
+/// Cancellation handle for a scheduled event. Handles are cheap to copy;
+/// cancelling an already-fired or already-cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing. Safe to call at any time.
+  void cancel() {
+    if (auto p = alive_.lock()) *p = false;
+  }
+
+  /// True if the event is still queued and will fire.
+  [[nodiscard]] bool pending() const {
+    auto p = alive_.lock();
+    return p && *p;
+  }
+
+ private:
+  friend class Scheduler;
+  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::weak_ptr<bool> alive_;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` after the current time.
+  EventHandle schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty or `horizon` is passed.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(SimTime horizon = kTimeInfinity);
+
+  /// Runs events while `keep_going()` is true (checked between events),
+  /// bounded by `horizon`. Returns the number of events executed.
+  std::uint64_t run_while(const std::function<bool()>& keep_going,
+                          SimTime horizon = kTimeInfinity);
+
+  /// Executes at most one event. Returns false if the queue was empty or
+  /// the next event lies beyond `horizon` (time does not advance then).
+  bool step(SimTime horizon = kTimeInfinity);
+
+  /// Number of events currently queued (including cancelled tombstones).
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break for equal timestamps
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace hrmc::sim

@@ -1,0 +1,44 @@
+#include "sim/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace hrmc::sim {
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets + 2, 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++counts_.front();
+  } else if (x >= hi_) {
+    ++counts_.back();
+  } else {
+    const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    ++counts_[1 + std::min(idx, counts_.size() - 3)];
+  }
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) {
+      if (i == 0) return lo_;
+      if (i == counts_.size() - 1) return hi_;
+      return lo_ + (static_cast<double>(i - 1) + 0.5) * width_;
+    }
+  }
+  return hi_;
+}
+
+}  // namespace hrmc::sim

@@ -1,0 +1,28 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace hrmc::sim {
+
+std::string format_time(SimTime t) {
+  char buf[64];
+  if (t == kTimeInfinity) return "+inf";
+  const char* sign = t < 0 ? "-" : "";
+  const std::int64_t a = t < 0 ? -t : t;
+  if (a >= kSecond) {
+    std::snprintf(buf, sizeof buf, "%s%.6fs", sign,
+                  static_cast<double>(a) / static_cast<double>(kSecond));
+  } else if (a >= kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%s%.3fms", sign,
+                  static_cast<double>(a) / static_cast<double>(kMillisecond));
+  } else if (a >= kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%s%.3fus", sign,
+                  static_cast<double>(a) / static_cast<double>(kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%lldns", sign,
+                  static_cast<long long>(a));
+  }
+  return buf;
+}
+
+}  // namespace hrmc::sim

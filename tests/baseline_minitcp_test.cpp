@@ -1,0 +1,124 @@
+#include "baseline/minitcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/pattern.hpp"
+#include "net/topology.hpp"
+
+namespace hrmc::baseline {
+namespace {
+
+class MiniTcpTest : public ::testing::Test {
+ protected:
+  void build(double loss_rate, std::uint64_t seed = 21) {
+    net::TopologyConfig tcfg;
+    tcfg.seed = seed;
+    tcfg.groups = {net::group_a(1)};
+    tcfg.groups[0].loss_rate = loss_rate;
+    topo_ = std::make_unique<net::Topology>(sched_, tcfg);
+    rcv_ = std::make_unique<MiniTcpReceiver>(topo_->receiver(0),
+                                             MiniTcpConfig{}, 9000);
+    snd_ = std::make_unique<MiniTcpSender>(
+        topo_->sender(), MiniTcpConfig{}, 9000,
+        net::Endpoint{topo_->receiver(0).addr(), 9000});
+  }
+
+  /// Streams `bytes` of pattern data and drains until completion.
+  void transfer(std::uint64_t bytes) {
+    std::uint64_t offered = 0;
+    std::vector<std::uint8_t> chunk(16 * 1024);
+    auto offer = [&] {
+      while (offered < bytes) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunk.size(), bytes - offered));
+        app::pattern_fill({chunk.data(), want}, offered);
+        const std::size_t n = snd_->send({chunk.data(), want});
+        offered += n;
+        if (n < want) return;
+      }
+      snd_->close();
+    };
+    snd_->on_writable = offer;
+
+    std::vector<std::uint8_t> rbuf(16 * 1024);
+    std::uint64_t read = 0;
+    bool corrupt = false;
+    rcv_->on_readable = [&] {
+      for (;;) {
+        const std::size_t n = rcv_->recv(rbuf);
+        if (n == 0) break;
+        if (app::pattern_verify({rbuf.data(), n}, read) != n) corrupt = true;
+        read += n;
+      }
+    };
+    offer();
+    sched_.run_while([&] { return !(rcv_->eof() && snd_->finished()); },
+                     sim::seconds(600));
+    EXPECT_TRUE(snd_->finished());
+    EXPECT_TRUE(rcv_->eof());
+    EXPECT_EQ(read, bytes);
+    EXPECT_FALSE(corrupt);
+    snd_->stop();
+  }
+
+  sim::Scheduler sched_;
+  std::unique_ptr<net::Topology> topo_;
+  std::unique_ptr<MiniTcpReceiver> rcv_;
+  std::unique_ptr<MiniTcpSender> snd_;
+};
+
+TEST_F(MiniTcpTest, CleanTransfer) {
+  build(0.0);
+  transfer(512 * 1024);
+  // Even a loss-free network sees self-induced queue drops while slow
+  // start discovers capacity, and Tahoe-style go-back-N resends whole
+  // windows; the resend volume must stay below the useful volume.
+  EXPECT_LT(snd_->stats().retransmissions, snd_->stats().data_packets_sent);
+}
+
+TEST_F(MiniTcpTest, LossyTransferRecovers) {
+  build(0.02);
+  transfer(512 * 1024);
+  EXPECT_GT(snd_->stats().retransmissions, 0u);
+}
+
+TEST_F(MiniTcpTest, HeavyLossStillCompletes) {
+  build(0.08, 33);
+  transfer(128 * 1024);
+  EXPECT_GT(snd_->stats().retransmissions, 3u);
+}
+
+TEST_F(MiniTcpTest, CwndGrowsFromSlowStart) {
+  build(0.0);
+  const std::size_t initial = snd_->cwnd();
+  transfer(512 * 1024);
+  EXPECT_GT(snd_->cwnd(), initial);
+}
+
+TEST_F(MiniTcpTest, FastRetransmitUsedUnderModerateLoss) {
+  build(0.01, 55);
+  transfer(1024 * 1024);
+  EXPECT_GT(snd_->stats().fast_retransmits, 0u);
+}
+
+TEST_F(MiniTcpTest, ZeroByteStreamFinishesViaFinExchange) {
+  build(0.0);
+  snd_->close();
+  sched_.run_while([&] { return !snd_->finished(); }, sim::seconds(30));
+  EXPECT_TRUE(snd_->finished());
+  EXPECT_TRUE(rcv_->complete());
+  EXPECT_TRUE(rcv_->eof());
+  snd_->stop();
+}
+
+TEST_F(MiniTcpTest, AckCarriesCumulativeSequence) {
+  build(0.0);
+  transfer(64 * 1024);
+  EXPECT_EQ(rcv_->rcv_nxt(), MiniTcpConfig::kInitialSeq + 64 * 1024);
+  EXPECT_GT(rcv_->stats().acks_sent, 10u);
+}
+
+}  // namespace
+}  // namespace hrmc::baseline

@@ -1,0 +1,239 @@
+// Forward-error-correction extension (§6 future work (4)): XOR parity
+// every k packets; a receiver missing exactly one packet of a group
+// rebuilds it locally without a retransmission round trip.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/pattern.hpp"
+#include "harness/scenario.hpp"
+#include "hrmc/receiver.hpp"
+#include "hrmc/sender.hpp"
+#include "net/topology.hpp"
+
+namespace hrmc::proto {
+namespace {
+
+constexpr net::Addr kGroup = net::make_addr(224, 7, 7, 7);
+constexpr net::Port kPort = 7500;
+constexpr std::size_t kMss = 1000;  // small MSS keeps test math readable
+
+struct SenderTap final : net::Transport {
+  void rx(kern::SkBuffPtr skb) override {
+    auto h = read_header(*skb);
+    if (h) headers.push_back(*h);
+  }
+  std::vector<Header> headers;
+  [[nodiscard]] std::size_t count(PacketType t) const {
+    std::size_t n = 0;
+    for (const auto& h : headers) n += h.type == t ? 1 : 0;
+    return n;
+  }
+};
+
+class FecTest : public ::testing::Test {
+ protected:
+  FecTest() {
+    net::TopologyConfig tcfg;
+    tcfg.seed = 31;
+    tcfg.groups = {net::group_a(1)};
+    tcfg.groups[0].loss_rate = 0.0;
+    topo_ = std::make_unique<net::Topology>(sched_, tcfg);
+    topo_->sender().register_transport(kIpProtoHrmc, &tap_);
+
+    cfg_.mss = kMss;
+    cfg_.fec_group = 4;
+    rcv_ = std::make_unique<HrmcReceiver>(topo_->receiver(0), cfg_,
+                                          net::Endpoint{kGroup, kPort},
+                                          topo_->sender().addr());
+    rcv_->open();
+    sched_.run_until(sim::milliseconds(50));
+  }
+
+  /// Sends one DATA packet of kMss pattern bytes at stream offset `off`.
+  void send_data(std::uint64_t off) {
+    auto skb = kern::SkBuff::alloc(kMss, Header::kSize + 44);
+    app::pattern_fill({skb->put(kMss), kMss}, off);
+    Header h;
+    h.sport = kPort;
+    h.dport = kPort;
+    h.seq = Config::kInitialSeq + static_cast<kern::Seq>(off);
+    h.length = kMss;
+    h.tries = 1;
+    h.type = PacketType::kData;
+    write_header(*skb, h);
+    skb->daddr = kGroup;
+    skb->protocol = kIpProtoHrmc;
+    topo_->sender().send(std::move(skb));
+  }
+
+  /// Sends the parity packet for the 4 packets starting at offset `off0`.
+  void send_fec(std::uint64_t off0) {
+    auto skb = kern::SkBuff::alloc(kMss, Header::kSize + 44);
+    std::uint8_t* p = skb->put(kMss);
+    std::memset(p, 0, kMss);
+    for (int g = 0; g < 4; ++g) {
+      for (std::size_t i = 0; i < kMss; ++i) {
+        p[i] ^= app::pattern_byte(off0 + g * kMss + i);
+      }
+    }
+    Header h;
+    h.sport = kPort;
+    h.dport = kPort;
+    h.seq = Config::kInitialSeq + static_cast<kern::Seq>(off0);
+    h.rate = 4 * kMss;  // span
+    h.length = kMss;
+    h.tries = 1;
+    h.type = PacketType::kFec;
+    write_header(*skb, h);
+    skb->daddr = kGroup;
+    skb->protocol = kIpProtoHrmc;
+    topo_->sender().send(std::move(skb));
+  }
+
+  void run_for(sim::SimTime dt) { sched_.run_until(sched_.now() + dt); }
+
+  std::uint64_t drain_verify() {
+    std::uint8_t buf[8192];
+    std::uint64_t off = 0;
+    std::size_t n;
+    while ((n = rcv_->recv(buf)) > 0) {
+      EXPECT_EQ(app::pattern_verify({buf, n}, off), n);
+      off += n;
+    }
+    return off;
+  }
+
+  sim::Scheduler sched_;
+  std::unique_ptr<net::Topology> topo_;
+  SenderTap tap_;
+  Config cfg_;
+  std::unique_ptr<HrmcReceiver> rcv_;
+};
+
+TEST_F(FecTest, ReconstructsSingleMissingPacket) {
+  // Packets 0,1,3 arrive; 2 is lost; parity recovers it — the stream is
+  // complete with zero retransmissions.
+  send_data(0 * kMss);
+  send_data(1 * kMss);
+  send_data(3 * kMss);
+  send_fec(0);
+  run_for(sim::milliseconds(50));
+  EXPECT_EQ(rcv_->stats().fec_recoveries, 1u);
+  EXPECT_EQ(rcv_->available(), 4 * kMss);
+  EXPECT_EQ(drain_verify(), 4 * kMss);
+}
+
+TEST_F(FecTest, ReconstructsInOrderHeadLoss) {
+  // The FIRST packet of the group is the lost one.
+  send_data(1 * kMss);
+  send_data(2 * kMss);
+  send_data(3 * kMss);
+  send_fec(0);
+  run_for(sim::milliseconds(50));
+  EXPECT_EQ(rcv_->stats().fec_recoveries, 1u);
+  EXPECT_EQ(drain_verify(), 4 * kMss);
+}
+
+TEST_F(FecTest, TwoLossesAreBeyondParity) {
+  send_data(0 * kMss);
+  send_data(3 * kMss);
+  send_fec(0);
+  run_for(sim::milliseconds(50));
+  EXPECT_EQ(rcv_->stats().fec_recoveries, 0u);
+  EXPECT_EQ(rcv_->available(), kMss);  // only packet 0 in order
+}
+
+TEST_F(FecTest, CompleteGroupIgnoresParity) {
+  for (int g = 0; g < 4; ++g) send_data(g * kMss);
+  send_fec(0);
+  run_for(sim::milliseconds(50));
+  EXPECT_EQ(rcv_->stats().fec_recoveries, 0u);
+  EXPECT_EQ(rcv_->stats().fec_packets_received, 1u);
+  EXPECT_EQ(drain_verify(), 4 * kMss);
+}
+
+TEST_F(FecTest, RecoveryAfterConsumptionUsesCache) {
+  // Packets 0 and 1 arrive and are consumed by the app before the
+  // parity shows up; loss of packet 2 is still recoverable because the
+  // payload cache retains consumed packets.
+  send_data(0 * kMss);
+  send_data(1 * kMss);
+  run_for(sim::milliseconds(20));
+  EXPECT_EQ(drain_verify(), 2 * kMss);  // app consumed them
+  send_data(3 * kMss);
+  send_fec(0);
+  run_for(sim::milliseconds(50));
+  EXPECT_EQ(rcv_->stats().fec_recoveries, 1u);
+  std::uint8_t buf[8192];
+  std::uint64_t off = 2 * kMss;
+  std::size_t n;
+  while ((n = rcv_->recv(buf)) > 0) {
+    EXPECT_EQ(app::pattern_verify({buf, n}, off), n);
+    off += n;
+  }
+  EXPECT_EQ(off, 4 * kMss);
+}
+
+TEST_F(FecTest, MalformedParityIgnored) {
+  send_data(0 * kMss);
+  // Span not a multiple of length: must be rejected quietly.
+  auto skb = kern::SkBuff::alloc(kMss, Header::kSize + 44);
+  skb->put(kMss);
+  Header h;
+  h.sport = kPort;
+  h.dport = kPort;
+  h.seq = Config::kInitialSeq;
+  h.rate = 4 * kMss + 17;
+  h.length = kMss;
+  h.tries = 1;
+  h.type = PacketType::kFec;
+  write_header(*skb, h);
+  skb->daddr = kGroup;
+  skb->protocol = kIpProtoHrmc;
+  topo_->sender().send(std::move(skb));
+  run_for(sim::milliseconds(50));
+  EXPECT_EQ(rcv_->stats().fec_recoveries, 0u);
+  EXPECT_EQ(rcv_->available(), kMss);
+}
+
+TEST(FecEndToEnd, SenderEmitsParityEveryKPackets) {
+  harness::Workload wl;
+  wl.file_bytes = 292 * 1024;  // 1460 * 8 * 25 = 200 full-MSS packets
+  harness::Scenario sc = harness::lan_scenario(1, 10e6, 256 << 10, wl, 91);
+  sc.topo.groups[0].loss_rate = 0.0;
+  sc.proto.fec_group = 8;
+  harness::RunResult r = harness::run_transfer(sc);
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.verify_ok);
+  // 292K / 1460 = 204.8 packets -> 25 full groups of 8.
+  EXPECT_NEAR(static_cast<double>(r.sender.fec_packets_sent), 25.0, 1.0);
+}
+
+TEST(FecEndToEnd, FecCutsRetransmissionsUnderLoss) {
+  harness::Workload wl;
+  wl.file_bytes = 2 * 1024 * 1024;
+
+  auto run_with = [&](std::size_t group) {
+    harness::Scenario sc =
+        harness::lan_scenario(2, 10e6, 256 << 10, wl, 92);
+    sc.topo.groups[0].loss_rate = 0.02;
+    sc.topo.correlated_share = 0.0;  // independent (wireless-like) loss
+    sc.proto.fec_group = group;
+    sc.time_limit = sim::seconds(1200);
+    return harness::run_transfer(sc);
+  };
+
+  harness::RunResult off = run_with(0);
+  harness::RunResult on = run_with(8);
+  ASSERT_TRUE(off.completed);
+  ASSERT_TRUE(on.completed);
+  EXPECT_TRUE(on.verify_ok);
+  EXPECT_GT(on.receivers_total.fec_recoveries, 0u);
+  EXPECT_LT(on.sender.retransmissions, off.sender.retransmissions)
+      << "FEC should absorb most single losses before they cost a NAK";
+  EXPECT_LT(on.receivers_total.naks_sent, off.receivers_total.naks_sent);
+}
+
+}  // namespace
+}  // namespace hrmc::proto

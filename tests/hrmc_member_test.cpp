@@ -1,0 +1,106 @@
+#include "hrmc/member.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hrmc::proto {
+namespace {
+
+TEST(MemberTable, AddFindRemove) {
+  MemberTable t;
+  EXPECT_TRUE(t.empty());
+  McMember* m = t.add(net::make_addr(10, 1, 0, 1), 100);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find(net::make_addr(10, 1, 0, 1)), m);
+  EXPECT_EQ(m->next_expected, 100u);
+  EXPECT_TRUE(t.remove(net::make_addr(10, 1, 0, 1)));
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.find(net::make_addr(10, 1, 0, 1)), nullptr);
+}
+
+TEST(MemberTable, DuplicateAddReturnsExisting) {
+  MemberTable t;
+  McMember* a = t.add(net::make_addr(10, 1, 0, 1), 100);
+  McMember* b = t.add(net::make_addr(10, 1, 0, 1), 999);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(a->next_expected, 100u);  // untouched
+}
+
+TEST(MemberTable, RemoveMissingReturnsFalse) {
+  MemberTable t;
+  EXPECT_FALSE(t.remove(net::make_addr(10, 9, 9, 9)));
+}
+
+TEST(MemberTable, ForEachVisitsAll) {
+  MemberTable t;
+  std::set<net::Addr> added;
+  for (unsigned i = 1; i <= 200; ++i) {
+    const net::Addr a = net::make_addr(10, 1, i / 250, i % 250 + 1);
+    t.add(a, i);
+    added.insert(a);
+  }
+  std::set<net::Addr> seen;
+  t.for_each([&](McMember& m) { seen.insert(m.addr); });
+  EXPECT_EQ(seen, added);
+}
+
+TEST(MemberTable, HashChainsSurviveCollisions) {
+  // 200 members necessarily collide in 64 buckets; lookups must all work.
+  MemberTable t;
+  for (unsigned i = 1; i <= 200; ++i) {
+    t.add(net::make_addr(10, 1, i / 250, i % 250 + 1), i);
+  }
+  for (unsigned i = 1; i <= 200; ++i) {
+    McMember* m = t.find(net::make_addr(10, 1, i / 250, i % 250 + 1));
+    ASSERT_NE(m, nullptr) << i;
+    EXPECT_EQ(m->next_expected, i);
+  }
+  // Remove every third, rest still findable.
+  for (unsigned i = 3; i <= 200; i += 3) {
+    EXPECT_TRUE(t.remove(net::make_addr(10, 1, i / 250, i % 250 + 1)));
+  }
+  for (unsigned i = 1; i <= 200; ++i) {
+    McMember* m = t.find(net::make_addr(10, 1, i / 250, i % 250 + 1));
+    if (i % 3 == 0) {
+      EXPECT_EQ(m, nullptr);
+    } else {
+      ASSERT_NE(m, nullptr);
+    }
+  }
+}
+
+TEST(MemberTable, MinNextExpected) {
+  MemberTable t;
+  EXPECT_EQ(t.min_next_expected(777), 777u);  // fallback when empty
+  t.add(net::make_addr(10, 1, 0, 1), 500);
+  t.add(net::make_addr(10, 1, 0, 2), 300);
+  t.add(net::make_addr(10, 1, 0, 3), 900);
+  EXPECT_EQ(t.min_next_expected(0), 300u);
+}
+
+TEST(MemberTable, AllHavePredicate) {
+  MemberTable t;
+  EXPECT_TRUE(t.all_have(123));  // vacuously true when empty
+  t.add(net::make_addr(10, 1, 0, 1), 500);
+  t.add(net::make_addr(10, 1, 0, 2), 300);
+  EXPECT_TRUE(t.all_have(300));
+  EXPECT_TRUE(t.all_have(299));
+  EXPECT_FALSE(t.all_have(301));
+  EXPECT_FALSE(t.all_have(501));
+  // Slowest member catches up.
+  t.find(net::make_addr(10, 1, 0, 2))->next_expected = 600;
+  EXPECT_TRUE(t.all_have(500));
+}
+
+TEST(MemberTable, AllHaveAcrossWraparound) {
+  MemberTable t;
+  t.add(net::make_addr(10, 1, 0, 1), 0xfffffff0u);
+  EXPECT_TRUE(t.all_have(0xffffffe0u));
+  EXPECT_FALSE(t.all_have(0x00000010u));  // past the wrap, not yet there
+}
+
+}  // namespace
+}  // namespace hrmc::proto

@@ -1,0 +1,125 @@
+#include "hrmc/nak_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hrmc::proto {
+namespace {
+
+using sim::milliseconds;
+
+TEST(NakList, FirstGapIsFresh) {
+  NakList l;
+  auto fresh = l.add_gap(100, 200, milliseconds(1));
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].from, 100u);
+  EXPECT_EQ(fresh[0].to, 200u);
+  EXPECT_EQ(l.size(), 1u);
+}
+
+TEST(NakList, RepeatedGapIsSuppressed) {
+  NakList l;
+  l.add_gap(100, 200, milliseconds(1));
+  auto again = l.add_gap(100, 200, milliseconds(2));
+  EXPECT_TRUE(again.empty());  // nothing new: locally suppressed
+  EXPECT_EQ(l.size(), 1u);
+}
+
+TEST(NakList, PartialOverlapYieldsOnlyNewBytes) {
+  NakList l;
+  l.add_gap(100, 200, milliseconds(1));
+  auto fresh = l.add_gap(150, 300, milliseconds(2));
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].from, 200u);
+  EXPECT_EQ(fresh[0].to, 300u);
+}
+
+TEST(NakList, GapSpanningTwoRangesEmitsMiddle) {
+  NakList l;
+  l.add_gap(100, 200, milliseconds(1));
+  l.add_gap(400, 500, milliseconds(1));
+  auto fresh = l.add_gap(100, 500, milliseconds(2));
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].from, 200u);
+  EXPECT_EQ(fresh[0].to, 400u);
+  EXPECT_EQ(l.size(), 3u);
+}
+
+TEST(NakList, FillRemovesRange) {
+  NakList l;
+  l.add_gap(100, 200, milliseconds(1));
+  l.fill(100, 200);
+  EXPECT_TRUE(l.empty());
+}
+
+TEST(NakList, FillMiddleSplitsRange) {
+  NakList l;
+  l.add_gap(100, 400, milliseconds(1));
+  l.fill(200, 300);
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_EQ(l.ranges()[0].from, 100u);
+  EXPECT_EQ(l.ranges()[0].to, 200u);
+  EXPECT_EQ(l.ranges()[1].from, 300u);
+  EXPECT_EQ(l.ranges()[1].to, 400u);
+}
+
+TEST(NakList, FillEdgesTrim) {
+  NakList l;
+  l.add_gap(100, 400, milliseconds(1));
+  l.fill(50, 150);
+  l.fill(350, 450);
+  ASSERT_EQ(l.size(), 1u);
+  EXPECT_EQ(l.ranges()[0].from, 150u);
+  EXPECT_EQ(l.ranges()[0].to, 350u);
+}
+
+TEST(NakList, AckThroughDropsAndTrims) {
+  NakList l;
+  l.add_gap(100, 200, milliseconds(1));
+  l.add_gap(300, 400, milliseconds(1));
+  l.ack_through(350);
+  ASSERT_EQ(l.size(), 1u);
+  EXPECT_EQ(l.ranges()[0].from, 350u);
+  EXPECT_EQ(l.ranges()[0].to, 400u);
+}
+
+TEST(NakList, DueRespectsSuppressInterval) {
+  NakList l;
+  l.add_gap(100, 200, milliseconds(0));
+  // Not due before the interval passes.
+  EXPECT_TRUE(l.due(milliseconds(5), milliseconds(10)).empty());
+  // Due after it.
+  auto due = l.due(milliseconds(12), milliseconds(10));
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].sends, 2);  // initial send + this re-send
+  // Clock restarted: not due again immediately.
+  EXPECT_TRUE(l.due(milliseconds(13), milliseconds(10)).empty());
+}
+
+TEST(NakList, NextDueIsEarliest) {
+  NakList l;
+  EXPECT_EQ(l.next_due(milliseconds(10)), sim::kTimeInfinity);
+  l.add_gap(100, 200, milliseconds(5));
+  l.add_gap(300, 400, milliseconds(2));
+  EXPECT_EQ(l.next_due(milliseconds(10)), milliseconds(12));
+}
+
+TEST(NakList, EmptyGapIgnored) {
+  NakList l;
+  EXPECT_TRUE(l.add_gap(200, 200, milliseconds(1)).empty());
+  EXPECT_TRUE(l.add_gap(200, 100, milliseconds(1)).empty());
+  EXPECT_TRUE(l.empty());
+}
+
+TEST(NakList, WraparoundRanges) {
+  NakList l;
+  const kern::Seq near_max = 0xffffff00u;
+  auto fresh = l.add_gap(near_max, 0x100u, milliseconds(1));
+  ASSERT_EQ(fresh.size(), 1u);
+  l.fill(near_max, 0x80u);
+  ASSERT_EQ(l.size(), 1u);
+  EXPECT_EQ(l.ranges()[0].from, 0x80u);
+  EXPECT_EQ(l.ranges()[0].to, 0x100u);
+}
+
+}  // namespace
+}  // namespace hrmc::proto

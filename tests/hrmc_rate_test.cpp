@@ -1,0 +1,175 @@
+#include "hrmc/rate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hrmc::proto {
+namespace {
+
+using sim::milliseconds;
+
+Config cfg_with(std::uint32_t min_rate = 16 * 1024,
+                std::uint32_t max_rate = 125'000'000) {
+  Config c;
+  c.min_rate = min_rate;
+  c.max_rate = max_rate;
+  return c;
+}
+
+TEST(RateController, StartsAtMinimumInSlowStart) {
+  Config c = cfg_with();
+  RateController r(c);
+  EXPECT_EQ(r.rate(), c.min_rate);
+  EXPECT_TRUE(r.in_slow_start());
+}
+
+TEST(RateController, BudgetMatchesRateTimesInterval) {
+  Config c = cfg_with(100'000);
+  RateController r(c);
+  // 100 KB/s over 10 ms = 1000 bytes.
+  EXPECT_EQ(r.budget(milliseconds(10)), 1000u);
+}
+
+TEST(RateController, BudgetCarriesSubByteResidue) {
+  Config c = cfg_with(16'666);  // 166.66 bytes per 10 ms
+  RateController r(c);
+  std::uint64_t total = 0;
+  for (int i = 0; i < 100; ++i) total += r.budget(milliseconds(10));
+  EXPECT_NEAR(static_cast<double>(total), 16'666.0, 2.0);
+}
+
+TEST(RateController, SlowStartDoublesPerInterval) {
+  Config c = cfg_with(16 * 1024);
+  RateController r(c);
+  const std::uint32_t before = r.rate();
+  r.maybe_grow(milliseconds(0), milliseconds(20), true);   // baseline
+  r.maybe_grow(milliseconds(20), milliseconds(20), true);  // one srtt later
+  EXPECT_EQ(r.rate(), before * 2);
+}
+
+TEST(RateController, GrowthClockedAtJiffyFloor) {
+  // With srtt far below a jiffy, growth still happens at most per jiffy.
+  Config c = cfg_with(16 * 1024);
+  RateController r(c);
+  r.maybe_grow(milliseconds(0), milliseconds(1), true);
+  r.maybe_grow(milliseconds(2), milliseconds(1), true);
+  r.maybe_grow(milliseconds(4), milliseconds(1), true);
+  EXPECT_EQ(r.rate(), c.min_rate);  // under one jiffy: no growth yet
+  r.maybe_grow(milliseconds(10), milliseconds(1), true);
+  EXPECT_EQ(r.rate(), c.min_rate * 2);
+}
+
+TEST(RateController, NoGrowthWhenIdle) {
+  Config c = cfg_with();
+  RateController r(c);
+  r.maybe_grow(milliseconds(0), milliseconds(10), false);
+  r.maybe_grow(milliseconds(100), milliseconds(10), false);
+  EXPECT_EQ(r.rate(), c.min_rate);
+}
+
+TEST(RateController, NegativeFeedbackHalves) {
+  Config c = cfg_with(1000, 1'000'000);
+  RateController r(c);
+  // Grow to a known value first.
+  for (int i = 0; i <= 8; ++i) {
+    r.maybe_grow(milliseconds(10 * i), milliseconds(10), true);
+  }
+  const std::uint32_t before = r.rate();
+  ASSERT_GT(before, 2000u);
+  EXPECT_TRUE(r.on_negative_feedback(milliseconds(200), milliseconds(10)));
+  EXPECT_EQ(r.rate(), before / 2);
+  EXPECT_FALSE(r.in_slow_start());  // ssthresh now equals the cut rate
+}
+
+TEST(RateController, CutHoldoffCollapsesBursts) {
+  Config c = cfg_with(1000, 1'000'000);
+  RateController r(c);
+  for (int i = 0; i <= 8; ++i) {
+    r.maybe_grow(milliseconds(10 * i), milliseconds(10), true);
+  }
+  const std::uint32_t before = r.rate();
+  EXPECT_TRUE(r.on_negative_feedback(milliseconds(200), milliseconds(50)));
+  // A second NAK within the holdoff is one loss event, not two.
+  EXPECT_FALSE(r.on_negative_feedback(milliseconds(210), milliseconds(50)));
+  EXPECT_EQ(r.rate(), before / 2);
+}
+
+TEST(RateController, RequestedRateCapsTheCut) {
+  Config c = cfg_with(1000, 1'000'000);
+  RateController r(c);
+  for (int i = 0; i <= 9; ++i) {
+    r.maybe_grow(milliseconds(10 * i), milliseconds(10), true);
+  }
+  ASSERT_GT(r.rate(), 8000u);
+  r.on_negative_feedback(milliseconds(300), milliseconds(10), 2000);
+  EXPECT_EQ(r.rate(), 2000u);
+}
+
+TEST(RateController, RateNeverBelowMinimum) {
+  Config c = cfg_with(5000);
+  RateController r(c);
+  for (int i = 0; i < 20; ++i) {
+    r.on_negative_feedback(milliseconds(100 * i), milliseconds(10), 1);
+  }
+  EXPECT_EQ(r.rate(), 5000u);
+}
+
+TEST(RateController, UrgentStopsForTwoRtts) {
+  Config c = cfg_with(1000, 1'000'000);
+  RateController r(c);
+  for (int i = 0; i <= 6; ++i) {  // grow above the minimum first
+    r.maybe_grow(milliseconds(10 * i), milliseconds(10), true);
+  }
+  ASSERT_GT(r.rate(), 2 * c.min_rate);
+  r.on_urgent(milliseconds(100), milliseconds(30));
+  EXPECT_TRUE(r.stopped(milliseconds(100)));
+  EXPECT_TRUE(r.stopped(milliseconds(159)));  // 100 + 2*30 = 160 ms
+  EXPECT_FALSE(r.stopped(milliseconds(160)));
+  EXPECT_EQ(r.rate(), c.min_rate);  // restart from minimum, slow start
+  EXPECT_TRUE(r.in_slow_start());
+}
+
+TEST(RateController, UrgentStopsDoNotShorten) {
+  Config c = cfg_with();
+  RateController r(c);
+  r.on_urgent(milliseconds(100), milliseconds(50));  // until 200 ms
+  r.on_urgent(milliseconds(110), milliseconds(10));  // would end at 130 ms
+  EXPECT_TRUE(r.stopped(milliseconds(199)));
+  EXPECT_FALSE(r.stopped(milliseconds(200)));
+}
+
+TEST(RateController, DeviceFullDecaysGently) {
+  Config c = cfg_with(1000, 1'000'000);
+  RateController r(c);
+  for (int i = 0; i <= 9; ++i) {
+    r.maybe_grow(milliseconds(10 * i), milliseconds(10), true);
+  }
+  const std::uint32_t before = r.rate();
+  r.on_device_full(milliseconds(200));
+  EXPECT_EQ(r.rate(), before * 7 / 8);
+  EXPECT_FALSE(r.in_slow_start());
+}
+
+TEST(RateController, MaxRateCaps) {
+  Config c = cfg_with(1000, 4000);
+  RateController r(c);
+  for (int i = 0; i < 10; ++i) {
+    r.maybe_grow(milliseconds(10 * i), milliseconds(10), true);
+  }
+  EXPECT_EQ(r.rate(), 4000u);
+}
+
+TEST(RateController, RestartResetsToSlowStart) {
+  Config c = cfg_with(1000, 1'000'000);
+  RateController r(c);
+  for (int i = 0; i <= 5; ++i) {
+    r.maybe_grow(milliseconds(10 * i), milliseconds(10), true);
+  }
+  r.on_negative_feedback(milliseconds(100), milliseconds(1));
+  r.restart();
+  EXPECT_EQ(r.rate(), 1000u);
+  EXPECT_TRUE(r.in_slow_start());
+  EXPECT_EQ(r.ssthresh(), c.max_rate);
+}
+
+}  // namespace
+}  // namespace hrmc::proto

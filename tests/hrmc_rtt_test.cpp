@@ -1,0 +1,66 @@
+#include "hrmc/rtt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hrmc::proto {
+namespace {
+
+using sim::microseconds;
+using sim::milliseconds;
+
+TEST(RttEstimator, StartsAtInitialValue) {
+  RttEstimator e(milliseconds(10), microseconds(200));
+  EXPECT_EQ(e.srtt(), milliseconds(10));
+  EXPECT_FALSE(e.seeded());
+}
+
+TEST(RttEstimator, FirstSampleReplacesInitial) {
+  RttEstimator e(milliseconds(10), microseconds(200));
+  e.sample(milliseconds(50));
+  EXPECT_EQ(e.srtt(), milliseconds(50));
+  EXPECT_EQ(e.rttvar(), milliseconds(25));
+  EXPECT_TRUE(e.seeded());
+}
+
+TEST(RttEstimator, EwmaConvergesTowardSamples) {
+  RttEstimator e(milliseconds(10), microseconds(200));
+  e.sample(milliseconds(100));
+  for (int i = 0; i < 60; ++i) e.sample(milliseconds(10));
+  EXPECT_LT(e.srtt(), milliseconds(12));
+  EXPECT_GT(e.srtt(), milliseconds(9));
+}
+
+TEST(RttEstimator, KarnRuleDiscardsRetransmitSamples) {
+  RttEstimator e(milliseconds(10), microseconds(200));
+  e.sample(milliseconds(20));
+  const auto before = e.srtt();
+  e.sample(milliseconds(500), /*from_retransmit=*/true);
+  EXPECT_EQ(e.srtt(), before);
+}
+
+TEST(RttEstimator, MinClampEnforced) {
+  RttEstimator e(milliseconds(10), microseconds(200));
+  for (int i = 0; i < 50; ++i) e.sample(0);
+  EXPECT_GE(e.srtt(), microseconds(200));
+}
+
+TEST(RttEstimator, RtoIncludesVariance) {
+  RttEstimator e(milliseconds(10), microseconds(200));
+  e.sample(milliseconds(10));
+  // Oscillating samples build variance.
+  for (int i = 0; i < 20; ++i) {
+    e.sample(i % 2 == 0 ? milliseconds(5) : milliseconds(15));
+  }
+  EXPECT_GT(e.rto(), e.srtt());
+  EXPECT_EQ(e.rto(), e.srtt() + 4 * e.rttvar());
+}
+
+TEST(RttEstimator, TracksIncreasesQuickly) {
+  RttEstimator e(milliseconds(10), microseconds(200));
+  e.sample(milliseconds(2));
+  for (int i = 0; i < 30; ++i) e.sample(milliseconds(100));
+  EXPECT_GT(e.srtt(), milliseconds(90));
+}
+
+}  // namespace
+}  // namespace hrmc::proto

@@ -1,0 +1,131 @@
+#include "hrmc/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hrmc::proto {
+namespace {
+
+Header sample_header() {
+  Header h;
+  h.sport = 7500;
+  h.dport = 7501;
+  h.seq = 0xdeadbeef;
+  h.rate = 1'250'000;
+  h.length = 1460;
+  h.tries = 3;
+  h.type = PacketType::kData;
+  h.urg = false;
+  h.fin = true;
+  return h;
+}
+
+TEST(Wire, HeaderIsTwentyBytes) {
+  EXPECT_EQ(Header::kSize, 20u);
+}
+
+TEST(Wire, RoundTripAllFields) {
+  auto skb = kern::SkBuff::alloc(100, 64);
+  std::uint8_t* p = skb->put(10);
+  std::iota(p, p + 10, 0);
+  const Header h = sample_header();
+  write_header(*skb, h);
+  EXPECT_EQ(skb->size(), 30u);
+
+  auto parsed = read_header(*skb);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->sport, h.sport);
+  EXPECT_EQ(parsed->dport, h.dport);
+  EXPECT_EQ(parsed->seq, h.seq);
+  EXPECT_EQ(parsed->rate, h.rate);
+  EXPECT_EQ(parsed->length, h.length);
+  EXPECT_EQ(parsed->tries, h.tries);
+  EXPECT_EQ(parsed->type, h.type);
+  EXPECT_EQ(parsed->urg, h.urg);
+  EXPECT_EQ(parsed->fin, h.fin);
+  // Header stripped, payload intact.
+  EXPECT_EQ(skb->size(), 10u);
+  EXPECT_EQ(skb->data()[0], 0);
+}
+
+TEST(Wire, ChecksumCoversPayload) {
+  auto skb = kern::SkBuff::alloc(100, 64);
+  skb->put(8);
+  write_header(*skb, sample_header());
+  // Corrupt a payload byte: the checksum must catch it.
+  skb->mutable_bytes()[Header::kSize + 3] ^= 0x80;
+  EXPECT_FALSE(read_header(*skb).has_value());
+}
+
+TEST(Wire, ChecksumCoversHeader) {
+  auto skb = kern::SkBuff::alloc(100, 64);
+  skb->put(8);
+  write_header(*skb, sample_header());
+  skb->mutable_bytes()[4] ^= 0x01;  // sequence number bit flip
+  EXPECT_FALSE(read_header(*skb).has_value());
+}
+
+TEST(Wire, ShortPacketRejected) {
+  auto skb = kern::SkBuff::alloc(100, 64);
+  skb->put(Header::kSize - 1);
+  EXPECT_FALSE(read_header(*skb).has_value());
+}
+
+TEST(Wire, UnknownTypeRejected) {
+  auto skb = kern::SkBuff::alloc(100, 64);
+  write_header(*skb, sample_header());
+  // Type nibble 0 is invalid; patch it and fix the checksum by peeking.
+  auto bytes = skb->mutable_bytes();
+  bytes[19] = (bytes[19] & 0xf0);  // type = 0
+  EXPECT_FALSE(peek_header(*skb).has_value());
+}
+
+TEST(Wire, UrgAndFinIndependent) {
+  for (bool urg : {false, true}) {
+    for (bool fin : {false, true}) {
+      auto skb = kern::SkBuff::alloc(10, 64);
+      Header h = sample_header();
+      h.urg = urg;
+      h.fin = fin;
+      write_header(*skb, h);
+      auto parsed = read_header(*skb);
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_EQ(parsed->urg, urg);
+      EXPECT_EQ(parsed->fin, fin);
+    }
+  }
+}
+
+TEST(Wire, AllElevenTypesRoundTrip) {
+  for (int t = 1; t <= 11; ++t) {
+    auto skb = kern::SkBuff::alloc(10, 64);
+    Header h = sample_header();
+    h.type = static_cast<PacketType>(t);
+    h.fin = false;
+    write_header(*skb, h);
+    auto parsed = read_header(*skb);
+    ASSERT_TRUE(parsed.has_value()) << "type " << t;
+    EXPECT_EQ(parsed->type, static_cast<PacketType>(t));
+  }
+}
+
+TEST(Wire, PacketTypeNames) {
+  EXPECT_EQ(packet_type_name(PacketType::kData), "DATA");
+  EXPECT_EQ(packet_type_name(PacketType::kNak), "NAK");
+  EXPECT_EQ(packet_type_name(PacketType::kUpdate), "UPDATE");
+  EXPECT_EQ(packet_type_name(PacketType::kProbe), "PROBE");
+  EXPECT_EQ(packet_type_name(PacketType::kKeepalive), "KEEPALIVE");
+}
+
+TEST(Wire, PeekDoesNotStrip) {
+  auto skb = kern::SkBuff::alloc(10, 64);
+  write_header(*skb, sample_header());
+  const auto size_before = skb->size();
+  auto h = peek_header(*skb);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(skb->size(), size_before);
+}
+
+}  // namespace
+}  // namespace hrmc::proto

@@ -1,0 +1,65 @@
+#include "kern/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kern/byteorder.hpp"
+
+namespace hrmc::kern {
+namespace {
+
+TEST(Checksum, Rfc1071Example) {
+  // RFC 1071 worked example: 00 01 f2 03 f4 f5 f6 f7 sums to ddf2,
+  // so the stored checksum is ~0xddf2 = 0x220d.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, ZeroBlockChecksumsToAllOnes) {
+  const std::uint8_t zeros[10] = {};
+  EXPECT_EQ(internet_checksum(zeros), 0xffff);
+}
+
+TEST(Checksum, StoredChecksumVerifies) {
+  std::vector<std::uint8_t> pkt = {0xde, 0xad, 0xbe, 0xef,
+                                   0x00, 0x00,  // checksum field
+                                   0x12, 0x34};
+  const std::uint16_t c = internet_checksum(pkt);
+  put_be16(pkt.data() + 4, c);
+  EXPECT_TRUE(checksum_ok(pkt));
+}
+
+TEST(Checksum, CorruptionDetected) {
+  std::vector<std::uint8_t> pkt = {0x01, 0x02, 0x03, 0x04, 0x00, 0x00};
+  put_be16(pkt.data() + 4, internet_checksum(pkt));
+  ASSERT_TRUE(checksum_ok(pkt));
+  pkt[1] ^= 0x40;
+  EXPECT_FALSE(checksum_ok(pkt));
+}
+
+TEST(Checksum, OddLengthHandled) {
+  std::vector<std::uint8_t> pkt = {0xaa, 0xbb, 0x00, 0x00, 0xcc};
+  put_be16(pkt.data() + 2, internet_checksum(pkt));
+  EXPECT_TRUE(checksum_ok(pkt));
+  pkt[4] ^= 0x01;
+  EXPECT_FALSE(checksum_ok(pkt));
+}
+
+TEST(Checksum, EmptyBlock) {
+  EXPECT_EQ(internet_checksum({}), 0xffff);
+  EXPECT_FALSE(checksum_ok({}));  // nothing sums to 0xffff
+}
+
+TEST(ByteOrder, RoundTrips) {
+  std::uint8_t buf[4];
+  put_be16(buf, 0xbeef);
+  EXPECT_EQ(get_be16(buf), 0xbeef);
+  EXPECT_EQ(buf[0], 0xbe);  // big end first
+  put_be32(buf, 0x01020304u);
+  EXPECT_EQ(get_be32(buf), 0x01020304u);
+  EXPECT_EQ(buf[0], 0x01);
+}
+
+}  // namespace
+}  // namespace hrmc::kern

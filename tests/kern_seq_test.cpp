@@ -1,0 +1,57 @@
+#include "kern/seq.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hrmc::kern {
+namespace {
+
+TEST(Seq, BasicOrdering) {
+  EXPECT_TRUE(seq_before(1, 2));
+  EXPECT_FALSE(seq_before(2, 1));
+  EXPECT_FALSE(seq_before(5, 5));
+  EXPECT_TRUE(seq_after(9, 3));
+  EXPECT_TRUE(seq_before_eq(5, 5));
+  EXPECT_TRUE(seq_after_eq(5, 5));
+}
+
+TEST(Seq, WrapAroundOrdering) {
+  const Seq near_max = 0xfffffff0u;
+  const Seq wrapped = 0x00000010u;
+  // wrapped is "after" near_max across the 2^32 boundary.
+  EXPECT_TRUE(seq_before(near_max, wrapped));
+  EXPECT_TRUE(seq_after(wrapped, near_max));
+  EXPECT_EQ(seq_diff(near_max, wrapped), 0x20);
+  EXPECT_EQ(seq_diff(wrapped, near_max), -0x20);
+}
+
+TEST(Seq, BetweenInclusive) {
+  EXPECT_TRUE(seq_between(5, 1, 10));
+  EXPECT_TRUE(seq_between(1, 1, 10));
+  EXPECT_TRUE(seq_between(10, 1, 10));
+  EXPECT_FALSE(seq_between(11, 1, 10));
+  EXPECT_FALSE(seq_between(0, 1, 10));
+}
+
+TEST(Seq, BetweenAcrossWrap) {
+  const Seq lo = 0xffffff00u;
+  const Seq hi = 0x00000100u;
+  EXPECT_TRUE(seq_between(0xffffffffu, lo, hi));
+  EXPECT_TRUE(seq_between(0, lo, hi));
+  EXPECT_FALSE(seq_between(0x00000200u, lo, hi));
+}
+
+TEST(Seq, MinMax) {
+  EXPECT_EQ(seq_max(3u, 9u), 9u);
+  EXPECT_EQ(seq_min(3u, 9u), 3u);
+  // Across wrap: 0x10 is the later one.
+  EXPECT_EQ(seq_max(0xfffffff0u, 0x10u), 0x10u);
+  EXPECT_EQ(seq_min(0xfffffff0u, 0x10u), 0xfffffff0u);
+}
+
+TEST(Seq, DiffIsAdditive) {
+  const Seq a = 100, b = 250;
+  EXPECT_EQ(a + static_cast<Seq>(seq_diff(a, b)), b);
+}
+
+}  // namespace
+}  // namespace hrmc::kern

@@ -1,0 +1,125 @@
+#include "kern/skbuff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hrmc::kern {
+namespace {
+
+TEST(SkBuff, AllocReservesHeadroom) {
+  auto skb = SkBuff::alloc(100, 32);
+  EXPECT_EQ(skb->size(), 0u);
+  EXPECT_EQ(skb->headroom(), 32u);
+  EXPECT_EQ(skb->tailroom(), 100u);
+}
+
+TEST(SkBuff, PutExtendsTail) {
+  auto skb = SkBuff::alloc(100);
+  std::uint8_t* p = skb->put(10);
+  std::iota(p, p + 10, 0);
+  EXPECT_EQ(skb->size(), 10u);
+  EXPECT_EQ(skb->data()[9], 9);
+}
+
+TEST(SkBuff, PushConsumesHeadroom) {
+  auto skb = SkBuff::alloc(100, 20);
+  skb->put(5);
+  std::uint8_t* hdr = skb->push(8);
+  EXPECT_EQ(hdr, skb->data());
+  EXPECT_EQ(skb->size(), 13u);
+  EXPECT_EQ(skb->headroom(), 12u);
+}
+
+TEST(SkBuff, PushBeyondHeadroomThrows) {
+  auto skb = SkBuff::alloc(10, 4);
+  EXPECT_THROW(skb->push(5), std::logic_error);
+}
+
+TEST(SkBuff, PullRemovesFront) {
+  auto skb = SkBuff::alloc(100);
+  std::uint8_t* p = skb->put(10);
+  std::iota(p, p + 10, 0);
+  skb->pull(4);
+  EXPECT_EQ(skb->size(), 6u);
+  EXPECT_EQ(skb->data()[0], 4);
+}
+
+TEST(SkBuff, PullPastEndThrows) {
+  auto skb = SkBuff::alloc(10);
+  skb->put(3);
+  EXPECT_THROW(skb->pull(4), std::logic_error);
+}
+
+TEST(SkBuff, TrimShrinks) {
+  auto skb = SkBuff::alloc(10);
+  skb->put(8);
+  skb->trim(5);
+  EXPECT_EQ(skb->size(), 5u);
+  EXPECT_THROW(skb->trim(9), std::logic_error);
+}
+
+TEST(SkBuff, CloneIsDeep) {
+  auto skb = SkBuff::alloc(10);
+  skb->put(4)[0] = 7;
+  skb->saddr = 0x0a000001;
+  auto copy = skb->clone();
+  copy->data()[0] = 99;
+  EXPECT_EQ(skb->data()[0], 7);
+  EXPECT_EQ(copy->saddr, 0x0a000001u);
+}
+
+TEST(SkBuff, WireSizeAddsFraming) {
+  auto skb = SkBuff::alloc(100);
+  skb->put(60);
+  EXPECT_EQ(skb->wire_size(), 60u + SkBuff::kLowerLayerBytes);
+}
+
+TEST(SkBuffQueue, FifoOrderAndByteAccounting) {
+  SkBuffQueue q;
+  EXPECT_TRUE(q.empty());
+  for (std::size_t n : {3u, 5u, 7u}) {
+    auto skb = SkBuff::alloc(10);
+    skb->put(n);
+    q.push_back(std::move(skb));
+  }
+  EXPECT_EQ(q.packets(), 3u);
+  EXPECT_EQ(q.bytes(), 15u);
+  EXPECT_EQ(q.pop_front()->size(), 3u);
+  EXPECT_EQ(q.bytes(), 12u);
+  EXPECT_EQ(q.pop_front()->size(), 5u);
+  EXPECT_EQ(q.pop_front()->size(), 7u);
+  EXPECT_EQ(q.pop_front(), nullptr);
+  EXPECT_EQ(q.bytes(), 0u);
+}
+
+TEST(SkBuffQueue, PushFrontAndEraseMaintainBytes) {
+  SkBuffQueue q;
+  auto a = SkBuff::alloc(10); a->put(2);
+  auto b = SkBuff::alloc(10); b->put(4);
+  q.push_back(std::move(a));
+  q.push_front(std::move(b));
+  EXPECT_EQ(q.front()->size(), 4u);
+  EXPECT_EQ(q.bytes(), 6u);
+  q.erase(q.begin());
+  EXPECT_EQ(q.bytes(), 2u);
+  q.clear();
+  EXPECT_EQ(q.bytes(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SkBuffQueue, InsertMidQueue) {
+  SkBuffQueue q;
+  auto a = SkBuff::alloc(10); a->put(1);
+  auto c = SkBuff::alloc(10); c->put(3);
+  q.push_back(std::move(a));
+  q.push_back(std::move(c));
+  auto b = SkBuff::alloc(10); b->put(2);
+  q.insert(q.begin() + 1, std::move(b));
+  EXPECT_EQ(q.bytes(), 6u);
+  std::size_t expect = 1;
+  for (const auto& skb : q) EXPECT_EQ(skb->size(), expect++);
+}
+
+}  // namespace
+}  // namespace hrmc::kern

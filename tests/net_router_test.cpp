@@ -1,0 +1,181 @@
+#include "net/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hrmc::net {
+namespace {
+
+struct CaptureSink final : PacketSink {
+  explicit CaptureSink(sim::Scheduler& s) : sched(&s) {}
+  void deliver(kern::SkBuffPtr skb) override {
+    packets.push_back(std::move(skb));
+    times.push_back(sched->now());
+  }
+  sim::Scheduler* sched;
+  std::vector<kern::SkBuffPtr> packets;
+  std::vector<sim::SimTime> times;
+};
+
+kern::SkBuffPtr make_packet(Addr dst, std::size_t payload = 100) {
+  auto skb = kern::SkBuff::alloc(payload);
+  skb->put(payload);
+  skb->daddr = dst;
+  return skb;
+}
+
+TEST(Router, UnicastFollowsRoute) {
+  sim::Scheduler sched;
+  Router r(sched, "r", RouterConfig{}, 1);
+  CaptureSink a(sched), b(sched);
+  r.add_route(make_addr(10, 0, 0, 1), &a);
+  r.add_route(make_addr(10, 0, 0, 2), &b);
+  r.deliver(make_packet(make_addr(10, 0, 0, 2)));
+  sched.run_until();
+  EXPECT_EQ(a.packets.size(), 0u);
+  EXPECT_EQ(b.packets.size(), 1u);
+}
+
+TEST(Router, DefaultRouteUsedWhenNoMatch) {
+  sim::Scheduler sched;
+  Router r(sched, "r", RouterConfig{}, 1);
+  CaptureSink def(sched);
+  r.set_default_route(&def);
+  r.deliver(make_packet(make_addr(10, 9, 9, 9)));
+  sched.run_until();
+  EXPECT_EQ(def.packets.size(), 1u);
+}
+
+TEST(Router, NoRouteDropsAndCounts) {
+  sim::Scheduler sched;
+  Router r(sched, "r", RouterConfig{}, 1);
+  r.deliver(make_packet(make_addr(10, 9, 9, 9)));
+  sched.run_until();
+  EXPECT_EQ(r.counters().get("no_route_drops"), 1u);
+}
+
+TEST(Router, ServiceTimeMatchesSpeed) {
+  sim::Scheduler sched;
+  RouterConfig cfg;
+  cfg.speed_bps = 10e6;
+  Router r(sched, "r", cfg, 1);
+  CaptureSink sink(sched);
+  r.add_route(make_addr(10, 0, 0, 1), &sink);
+  // 1212 + 38 = 1250 wire bytes = 1 ms at 10 Mbps.
+  r.deliver(make_packet(make_addr(10, 0, 0, 1), 1212));
+  r.deliver(make_packet(make_addr(10, 0, 0, 1), 1212));
+  sched.run_until();
+  ASSERT_EQ(sink.packets.size(), 2u);
+  EXPECT_NEAR(sim::to_milliseconds(sink.times[0]), 1.0, 0.01);
+  EXPECT_NEAR(sim::to_milliseconds(sink.times[1]), 2.0, 0.01);
+}
+
+TEST(Router, QueueLimitDrops) {
+  sim::Scheduler sched;
+  RouterConfig cfg;
+  cfg.queue_limit = 3;
+  Router r(sched, "r", cfg, 1);
+  CaptureSink sink(sched);
+  r.add_route(make_addr(10, 0, 0, 1), &sink);
+  for (int i = 0; i < 10; ++i) {
+    r.deliver(make_packet(make_addr(10, 0, 0, 1)));
+  }
+  // One in service + 3 queued survive.
+  EXPECT_EQ(r.counters().get("queue_drops"), 6u);
+  sched.run_until();
+  EXPECT_EQ(sink.packets.size(), 4u);
+}
+
+TEST(Router, MulticastDuplicatesToAllGroupMembers) {
+  sim::Scheduler sched;
+  Router r(sched, "r", RouterConfig{}, 1);
+  CaptureSink a(sched), b(sched), c(sched);
+  const Addr group = make_addr(224, 1, 1, 1);
+  r.join_group(group, &a);
+  r.join_group(group, &b);
+  r.join_group(group, &c);
+  auto pkt = make_packet(group, 64);
+  pkt->put(0);
+  pkt->data()[0] = 42;
+  r.deliver(std::move(pkt));
+  sched.run_until();
+  ASSERT_EQ(a.packets.size(), 1u);
+  ASSERT_EQ(b.packets.size(), 1u);
+  ASSERT_EQ(c.packets.size(), 1u);
+  // Copies are independent buffers.
+  a.packets[0]->data()[0] = 7;
+  EXPECT_EQ(b.packets[0]->data()[0], 42);
+}
+
+TEST(Router, MulticastWithoutMembersDrops) {
+  sim::Scheduler sched;
+  Router r(sched, "r", RouterConfig{}, 1);
+  r.deliver(make_packet(make_addr(224, 1, 1, 1)));
+  sched.run_until();
+  EXPECT_EQ(r.counters().get("no_group_drops"), 1u);
+}
+
+TEST(Router, LeaveGroupPrunes) {
+  sim::Scheduler sched;
+  Router r(sched, "r", RouterConfig{}, 1);
+  CaptureSink a(sched), b(sched);
+  const Addr group = make_addr(224, 1, 1, 1);
+  r.join_group(group, &a);
+  r.join_group(group, &b);
+  r.leave_group(group, &a);
+  EXPECT_TRUE(r.group_active(group));
+  r.deliver(make_packet(group));
+  sched.run_until();
+  EXPECT_EQ(a.packets.size(), 0u);
+  EXPECT_EQ(b.packets.size(), 1u);
+  r.leave_group(group, &b);
+  EXPECT_FALSE(r.group_active(group));
+}
+
+TEST(Router, JoinGroupIsIdempotent) {
+  sim::Scheduler sched;
+  Router r(sched, "r", RouterConfig{}, 1);
+  CaptureSink a(sched);
+  const Addr group = make_addr(224, 1, 1, 1);
+  r.join_group(group, &a);
+  r.join_group(group, &a);
+  r.deliver(make_packet(group));
+  sched.run_until();
+  EXPECT_EQ(a.packets.size(), 1u);  // not duplicated
+}
+
+TEST(Router, CorrelatedLossIsPreFanout) {
+  sim::Scheduler sched;
+  RouterConfig cfg;
+  cfg.loss_rate = 0.3;
+  cfg.queue_limit = 10000;  // loss, not queueing, is under test
+  Router r(sched, "r", cfg, 99);
+  CaptureSink a(sched), b(sched);
+  const Addr group = make_addr(224, 1, 1, 1);
+  r.join_group(group, &a);
+  r.join_group(group, &b);
+  for (int i = 0; i < 2000; ++i) r.deliver(make_packet(group, 10));
+  sched.run_until();
+  // Loss is perfectly correlated: both receivers got exactly the same set.
+  EXPECT_EQ(a.packets.size(), b.packets.size());
+  EXPECT_NEAR(static_cast<double>(a.packets.size()), 1400.0, 100.0);
+  EXPECT_NEAR(static_cast<double>(r.counters().get("loss_drops")), 600.0,
+              100.0);
+}
+
+TEST(Router, TtlExpiredDrops) {
+  sim::Scheduler sched;
+  Router r(sched, "r", RouterConfig{}, 1);
+  CaptureSink sink(sched);
+  r.add_route(make_addr(10, 0, 0, 1), &sink);
+  auto pkt = make_packet(make_addr(10, 0, 0, 1));
+  pkt->ttl = 0;
+  r.deliver(std::move(pkt));
+  sched.run_until();
+  EXPECT_EQ(sink.packets.size(), 0u);
+  EXPECT_EQ(r.counters().get("ttl_drops"), 1u);
+}
+
+}  // namespace
+}  // namespace hrmc::net

@@ -1,0 +1,202 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hrmc::net {
+namespace {
+
+/// Minimal transport that records arrivals.
+struct CaptureTransport final : Transport {
+  explicit CaptureTransport(sim::Scheduler& s) : sched(&s) {}
+  void rx(kern::SkBuffPtr skb) override {
+    packets.push_back(std::move(skb));
+    times.push_back(sched->now());
+  }
+  sim::Scheduler* sched;
+  std::vector<kern::SkBuffPtr> packets;
+  std::vector<sim::SimTime> times;
+};
+
+constexpr std::uint8_t kProto = 200;
+constexpr Addr kGroup = make_addr(224, 1, 2, 3);
+
+TopologyConfig two_group_cfg() {
+  TopologyConfig cfg;
+  cfg.seed = 5;
+  cfg.groups = {group_a(2), group_c(2)};
+  return cfg;
+}
+
+kern::SkBuffPtr make_packet(Addr dst, std::size_t payload = 100) {
+  auto skb = kern::SkBuff::alloc(payload);
+  skb->put(payload);
+  skb->daddr = dst;
+  skb->protocol = kProto;
+  return skb;
+}
+
+TEST(Topology, BuildsSenderAndReceivers) {
+  sim::Scheduler sched;
+  Topology topo(sched, two_group_cfg());
+  EXPECT_EQ(topo.receiver_count(), 4u);
+  EXPECT_EQ(topo.receiver_group(0), 0u);
+  EXPECT_EQ(topo.receiver_group(2), 1u);
+  EXPECT_NE(topo.sender().addr(), 0u);
+  // Addresses unique.
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_NE(topo.receiver(i).addr(), topo.receiver(j).addr());
+    }
+  }
+}
+
+TEST(Topology, UnicastSenderToReceiverAndBack) {
+  sim::Scheduler sched;
+  Topology topo(sched, two_group_cfg());
+  CaptureTransport at_rcv(sched), at_snd(sched);
+  topo.receiver(0).register_transport(kProto, &at_rcv);
+  topo.sender().register_transport(kProto, &at_snd);
+
+  topo.sender().send(make_packet(topo.receiver(0).addr()));
+  sched.run_until();
+  ASSERT_EQ(at_rcv.packets.size(), 1u);
+  EXPECT_EQ(at_rcv.packets[0]->saddr, topo.sender().addr());
+
+  topo.receiver(0).send(make_packet(topo.sender().addr()));
+  sched.run_until();
+  ASSERT_EQ(at_snd.packets.size(), 1u);
+  EXPECT_EQ(at_snd.packets[0]->saddr, topo.receiver(0).addr());
+}
+
+TEST(Topology, GroupDelayDifferentiatesGroups) {
+  sim::Scheduler sched;
+  Topology topo(sched, two_group_cfg());
+  CaptureTransport fast(sched), slow(sched);
+  topo.receiver(0).register_transport(kProto, &fast);  // group A: 2 ms
+  topo.receiver(2).register_transport(kProto, &slow);  // group C: 100 ms
+
+  topo.sender().send(make_packet(topo.receiver(0).addr()));
+  topo.sender().send(make_packet(topo.receiver(2).addr()));
+  sched.run_until();
+  ASSERT_EQ(fast.packets.size(), 1u);
+  ASSERT_EQ(slow.packets.size(), 1u);
+  EXPECT_GT(slow.times[0], fast.times[0] + sim::milliseconds(90));
+}
+
+TEST(Topology, MulticastReachesOnlyJoinedReceivers) {
+  sim::Scheduler sched;
+  TopologyConfig cfg = two_group_cfg();
+  cfg.groups[0].loss_rate = 0;
+  cfg.groups[1].loss_rate = 0;
+  Topology topo(sched, cfg);
+  std::vector<CaptureTransport> taps;
+  taps.reserve(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    taps.emplace_back(sched);
+    topo.receiver(i).register_transport(kProto, &taps[i]);
+  }
+  topo.receiver(0).join_group(kGroup);
+  topo.receiver(2).join_group(kGroup);
+
+  topo.sender().send(make_packet(kGroup));
+  sched.run_until();
+  EXPECT_EQ(taps[0].packets.size(), 1u);
+  EXPECT_EQ(taps[1].packets.size(), 0u);
+  EXPECT_EQ(taps[2].packets.size(), 1u);
+  EXPECT_EQ(taps[3].packets.size(), 0u);
+}
+
+TEST(Topology, LeavePrunesDelivery) {
+  sim::Scheduler sched;
+  TopologyConfig cfg = two_group_cfg();
+  cfg.groups[0].loss_rate = 0;
+  cfg.groups[1].loss_rate = 0;
+  Topology topo(sched, cfg);
+  CaptureTransport tap(sched);
+  topo.receiver(0).register_transport(kProto, &tap);
+  topo.receiver(0).join_group(kGroup);
+  topo.sender().send(make_packet(kGroup));
+  sched.run_until();
+  ASSERT_EQ(tap.packets.size(), 1u);
+
+  topo.receiver(0).leave_group(kGroup);
+  topo.sender().send(make_packet(kGroup));
+  sched.run_until();
+  EXPECT_EQ(tap.packets.size(), 1u);  // nothing new
+}
+
+TEST(Topology, LossySimGroupLosesPackets) {
+  sim::Scheduler sched;
+  TopologyConfig cfg;
+  cfg.seed = 11;
+  cfg.groups = {group_c(1)};  // 2% loss
+  Topology topo(sched, cfg);
+  CaptureTransport tap(sched);
+  topo.receiver(0).register_transport(kProto, &tap);
+  topo.receiver(0).join_group(kGroup);
+  // Pace the sends so only the loss models (not queue overflow or the
+  // card-overrun model) act on them.
+  for (int i = 0; i < 3000; ++i) {
+    sched.schedule_at(sim::milliseconds(i), [&] {
+      topo.sender().send(make_packet(kGroup, 10));
+    });
+  }
+  sched.run_until();
+  const double received = static_cast<double>(tap.packets.size());
+  EXPECT_LT(received, 2990.0);
+  EXPECT_NEAR(received, 3000.0 * 0.98, 40.0);
+}
+
+TEST(Topology, CorrelatedShareSplitsLoss) {
+  sim::Scheduler sched;
+  TopologyConfig cfg;
+  cfg.seed = 13;
+  cfg.groups = {group_c(2)};
+  Topology topo(sched, cfg);
+  CaptureTransport a(sched), b(sched);
+  topo.receiver(0).register_transport(kProto, &a);
+  topo.receiver(1).register_transport(kProto, &b);
+  topo.receiver(0).join_group(kGroup);
+  topo.receiver(1).join_group(kGroup);
+  for (int i = 0; i < 5000; ++i) {
+    sched.schedule_at(sim::milliseconds(i), [&] {
+      topo.sender().send(make_packet(kGroup, 10));
+    });
+  }
+  sched.run_until();
+  const auto router_drops = topo.group_router(0).counters().get("loss_drops");
+  std::uint64_t nic_drops = 0;
+  // Receiver NICs are reachable via counters on the topology's NICs; use
+  // the packet counts instead: arrivals differ between receivers exactly
+  // by the uncorrelated component.
+  EXPECT_GT(router_drops, 50u);  // ~5000 * 1.8%
+  EXPECT_NE(a.packets.size(), b.packets.size());
+  (void)nic_drops;
+}
+
+TEST(Topology, JoinFromNonMemberHostThrows) {
+  sim::Scheduler sched;
+  Topology topo_a(sched, two_group_cfg());
+  Topology topo_b(sched, two_group_cfg());
+  EXPECT_THROW(topo_a.join_group(kGroup, &topo_b.receiver(0)),
+               std::logic_error);
+  EXPECT_THROW(topo_a.join_group(topo_a.sender().addr(),
+                                 &topo_a.receiver(0)),
+               std::logic_error);
+}
+
+TEST(Topology, CharacteristicGroupsMatchFig14) {
+  GroupSpec a = group_a(3), b = group_b(4), c = group_c(5);
+  EXPECT_EQ(a.delay, sim::milliseconds(2));
+  EXPECT_DOUBLE_EQ(a.loss_rate, 0.00005);
+  EXPECT_EQ(a.receivers, 3);
+  EXPECT_EQ(b.delay, sim::milliseconds(20));
+  EXPECT_DOUBLE_EQ(b.loss_rate, 0.005);
+  EXPECT_EQ(c.delay, sim::milliseconds(100));
+  EXPECT_DOUBLE_EQ(c.loss_rate, 0.02);
+}
+
+}  // namespace
+}  // namespace hrmc::net

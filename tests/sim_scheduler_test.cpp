@@ -1,0 +1,143 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hrmc::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.executed(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(milliseconds(30), [&] { order.push_back(3); });
+  s.schedule_at(milliseconds(10), [&] { order.push_back(1); });
+  s.schedule_at(milliseconds(20), [&] { order.push_back(2); });
+  s.run_until();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), milliseconds(30));
+}
+
+TEST(Scheduler, EqualTimestampsFireFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(milliseconds(5), [&, i] { order.push_back(i); });
+  }
+  s.run_until();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  SimTime fired = -1;
+  s.schedule_at(milliseconds(10), [&] {
+    s.schedule_after(milliseconds(5), [&] { fired = s.now(); });
+  });
+  s.run_until();
+  EXPECT_EQ(fired, milliseconds(15));
+}
+
+TEST(Scheduler, SchedulingInThePastThrows) {
+  Scheduler s;
+  s.schedule_at(milliseconds(10), [&] {
+    EXPECT_THROW(s.schedule_at(milliseconds(5), [] {}), std::logic_error);
+  });
+  s.run_until();
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  EventHandle h = s.schedule_at(milliseconds(10), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run_until();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelAfterFiringIsNoop) {
+  Scheduler s;
+  int count = 0;
+  EventHandle h = s.schedule_at(milliseconds(10), [&] { ++count; });
+  s.run_until();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or corrupt anything
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Scheduler, HorizonStopsExecutionWithoutPassingIt) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(milliseconds(10), [&] { ++count; });
+  s.schedule_at(milliseconds(30), [&] { ++count; });
+  s.run_until(milliseconds(20));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.now(), milliseconds(20));  // idle time passes to horizon
+  s.run_until(milliseconds(40));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, RunWhilePredicateStopsEarly) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_at(milliseconds(i), [&] { ++count; });
+  }
+  s.run_while([&] { return count < 4; });
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) s.schedule_after(microseconds(1), chain);
+  };
+  s.schedule_at(0, chain);
+  s.run_until();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), microseconds(99));
+}
+
+TEST(Scheduler, ExecutedCountsOnlyFiredEvents) {
+  Scheduler s;
+  auto h = s.schedule_at(milliseconds(1), [] {});
+  s.schedule_at(milliseconds(2), [] {});
+  h.cancel();
+  s.run_until();
+  EXPECT_EQ(s.executed(), 1u);
+}
+
+TEST(SimTime, ConversionsRoundTrip) {
+  EXPECT_EQ(seconds(2), 2 * kSecond);
+  EXPECT_EQ(milliseconds(1500), from_seconds(1.5));
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(250)), 250.0);
+}
+
+TEST(SimTime, TransmissionTimeRoundsUp) {
+  // 1250 bytes at 10 Mbps = exactly 1 ms; the +1 ns guard keeps
+  // back-to-back packets strictly ordered.
+  const SimTime t = transmission_time(1250, 10e6);
+  EXPECT_GE(t, milliseconds(1));
+  EXPECT_LE(t, milliseconds(1) + 2);
+}
+
+TEST(SimTime, FormatTimePicksUnits) {
+  EXPECT_EQ(format_time(nanoseconds(5)), "5ns");
+  EXPECT_EQ(format_time(microseconds(5)), "5.000us");
+  EXPECT_EQ(format_time(milliseconds(5)), "5.000ms");
+  EXPECT_EQ(format_time(seconds(5)), "5.000000s");
+  EXPECT_EQ(format_time(kTimeInfinity), "+inf");
+}
+
+}  // namespace
+}  // namespace hrmc::sim
