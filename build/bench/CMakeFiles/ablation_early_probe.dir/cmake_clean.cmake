@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_early_probe.dir/ablation_early_probe.cpp.o"
+  "CMakeFiles/ablation_early_probe.dir/ablation_early_probe.cpp.o.d"
+  "ablation_early_probe"
+  "ablation_early_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_early_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

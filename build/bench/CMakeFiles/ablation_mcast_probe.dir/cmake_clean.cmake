@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mcast_probe.dir/ablation_mcast_probe.cpp.o"
+  "CMakeFiles/ablation_mcast_probe.dir/ablation_mcast_probe.cpp.o.d"
+  "ablation_mcast_probe"
+  "ablation_mcast_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mcast_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

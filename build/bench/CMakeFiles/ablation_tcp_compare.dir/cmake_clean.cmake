@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tcp_compare.dir/ablation_tcp_compare.cpp.o"
+  "CMakeFiles/ablation_tcp_compare.dir/ablation_tcp_compare.cpp.o.d"
+  "ablation_tcp_compare"
+  "ablation_tcp_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tcp_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_timer.dir/ablation_update_timer.cpp.o"
+  "CMakeFiles/ablation_update_timer.dir/ablation_update_timer.cpp.o.d"
+  "ablation_update_timer"
+  "ablation_update_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

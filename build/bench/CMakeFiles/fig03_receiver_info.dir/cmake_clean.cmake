@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_receiver_info.dir/fig03_receiver_info.cpp.o"
+  "CMakeFiles/fig03_receiver_info.dir/fig03_receiver_info.cpp.o.d"
+  "fig03_receiver_info"
+  "fig03_receiver_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_receiver_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_throughput_10mbps.dir/fig10_throughput_10mbps.cpp.o"
+  "CMakeFiles/fig10_throughput_10mbps.dir/fig10_throughput_10mbps.cpp.o.d"
+  "fig10_throughput_10mbps"
+  "fig10_throughput_10mbps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_throughput_10mbps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_feedback_10mbps.dir/fig11_feedback_10mbps.cpp.o"
+  "CMakeFiles/fig11_feedback_10mbps.dir/fig11_feedback_10mbps.cpp.o.d"
+  "fig11_feedback_10mbps"
+  "fig11_feedback_10mbps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_feedback_10mbps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_throughput_100mbps.dir/fig12_throughput_100mbps.cpp.o"
+  "CMakeFiles/fig12_throughput_100mbps.dir/fig12_throughput_100mbps.cpp.o.d"
+  "fig12_throughput_100mbps"
+  "fig12_throughput_100mbps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_throughput_100mbps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

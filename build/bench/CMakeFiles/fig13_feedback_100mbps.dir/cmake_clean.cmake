@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_feedback_100mbps.dir/fig13_feedback_100mbps.cpp.o"
+  "CMakeFiles/fig13_feedback_100mbps.dir/fig13_feedback_100mbps.cpp.o.d"
+  "fig13_feedback_100mbps"
+  "fig13_feedback_100mbps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_feedback_100mbps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

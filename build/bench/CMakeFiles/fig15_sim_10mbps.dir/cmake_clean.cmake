@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sim_10mbps.dir/fig15_sim_10mbps.cpp.o"
+  "CMakeFiles/fig15_sim_10mbps.dir/fig15_sim_10mbps.cpp.o.d"
+  "fig15_sim_10mbps"
+  "fig15_sim_10mbps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sim_10mbps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

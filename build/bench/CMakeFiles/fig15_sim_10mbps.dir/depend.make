@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_sim_10mbps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_sim_100mbps.dir/fig16_sim_100mbps.cpp.o"
+  "CMakeFiles/fig16_sim_100mbps.dir/fig16_sim_100mbps.cpp.o.d"
+  "fig16_sim_100mbps"
+  "fig16_sim_100mbps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sim_100mbps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

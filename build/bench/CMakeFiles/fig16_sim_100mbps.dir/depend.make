@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_sim_100mbps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_wan.dir/heterogeneous_wan.cpp.o"
+  "CMakeFiles/heterogeneous_wan.dir/heterogeneous_wan.cpp.o.d"
+  "heterogeneous_wan"
+  "heterogeneous_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_app.dir/apps.cpp.o"
+  "CMakeFiles/hrmc_app.dir/apps.cpp.o.d"
+  "libhrmc_app.a"
+  "libhrmc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

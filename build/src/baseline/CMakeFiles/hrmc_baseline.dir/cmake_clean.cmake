@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_baseline.dir/minitcp.cpp.o"
+  "CMakeFiles/hrmc_baseline.dir/minitcp.cpp.o.d"
+  "libhrmc_baseline.a"
+  "libhrmc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

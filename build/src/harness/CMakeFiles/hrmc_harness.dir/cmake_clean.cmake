@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_harness.dir/scenario.cpp.o"
+  "CMakeFiles/hrmc_harness.dir/scenario.cpp.o.d"
+  "CMakeFiles/hrmc_harness.dir/table.cpp.o"
+  "CMakeFiles/hrmc_harness.dir/table.cpp.o.d"
+  "libhrmc_harness.a"
+  "libhrmc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hrmc/member.cpp" "src/hrmc/CMakeFiles/hrmc_proto.dir/member.cpp.o" "gcc" "src/hrmc/CMakeFiles/hrmc_proto.dir/member.cpp.o.d"
+  "/root/repo/src/hrmc/nak_list.cpp" "src/hrmc/CMakeFiles/hrmc_proto.dir/nak_list.cpp.o" "gcc" "src/hrmc/CMakeFiles/hrmc_proto.dir/nak_list.cpp.o.d"
+  "/root/repo/src/hrmc/receiver.cpp" "src/hrmc/CMakeFiles/hrmc_proto.dir/receiver.cpp.o" "gcc" "src/hrmc/CMakeFiles/hrmc_proto.dir/receiver.cpp.o.d"
+  "/root/repo/src/hrmc/sender.cpp" "src/hrmc/CMakeFiles/hrmc_proto.dir/sender.cpp.o" "gcc" "src/hrmc/CMakeFiles/hrmc_proto.dir/sender.cpp.o.d"
+  "/root/repo/src/hrmc/wire.cpp" "src/hrmc/CMakeFiles/hrmc_proto.dir/wire.cpp.o" "gcc" "src/hrmc/CMakeFiles/hrmc_proto.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hrmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/hrmc_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hrmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_proto.dir/member.cpp.o"
+  "CMakeFiles/hrmc_proto.dir/member.cpp.o.d"
+  "CMakeFiles/hrmc_proto.dir/nak_list.cpp.o"
+  "CMakeFiles/hrmc_proto.dir/nak_list.cpp.o.d"
+  "CMakeFiles/hrmc_proto.dir/receiver.cpp.o"
+  "CMakeFiles/hrmc_proto.dir/receiver.cpp.o.d"
+  "CMakeFiles/hrmc_proto.dir/sender.cpp.o"
+  "CMakeFiles/hrmc_proto.dir/sender.cpp.o.d"
+  "CMakeFiles/hrmc_proto.dir/wire.cpp.o"
+  "CMakeFiles/hrmc_proto.dir/wire.cpp.o.d"
+  "libhrmc_proto.a"
+  "libhrmc_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhrmc_proto.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_kern.dir/checksum.cpp.o"
+  "CMakeFiles/hrmc_kern.dir/checksum.cpp.o.d"
+  "CMakeFiles/hrmc_kern.dir/skbuff.cpp.o"
+  "CMakeFiles/hrmc_kern.dir/skbuff.cpp.o.d"
+  "libhrmc_kern.a"
+  "libhrmc_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

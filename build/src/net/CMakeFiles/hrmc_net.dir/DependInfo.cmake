@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addr.cpp" "src/net/CMakeFiles/hrmc_net.dir/addr.cpp.o" "gcc" "src/net/CMakeFiles/hrmc_net.dir/addr.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/hrmc_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/hrmc_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/net/CMakeFiles/hrmc_net.dir/nic.cpp.o" "gcc" "src/net/CMakeFiles/hrmc_net.dir/nic.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/net/CMakeFiles/hrmc_net.dir/router.cpp.o" "gcc" "src/net/CMakeFiles/hrmc_net.dir/router.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/hrmc_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/hrmc_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kern/CMakeFiles/hrmc_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hrmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_net.dir/addr.cpp.o"
+  "CMakeFiles/hrmc_net.dir/addr.cpp.o.d"
+  "CMakeFiles/hrmc_net.dir/host.cpp.o"
+  "CMakeFiles/hrmc_net.dir/host.cpp.o.d"
+  "CMakeFiles/hrmc_net.dir/nic.cpp.o"
+  "CMakeFiles/hrmc_net.dir/nic.cpp.o.d"
+  "CMakeFiles/hrmc_net.dir/router.cpp.o"
+  "CMakeFiles/hrmc_net.dir/router.cpp.o.d"
+  "CMakeFiles/hrmc_net.dir/topology.cpp.o"
+  "CMakeFiles/hrmc_net.dir/topology.cpp.o.d"
+  "libhrmc_net.a"
+  "libhrmc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

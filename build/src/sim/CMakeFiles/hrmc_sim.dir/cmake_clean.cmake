@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_sim.dir/random.cpp.o"
+  "CMakeFiles/hrmc_sim.dir/random.cpp.o.d"
+  "CMakeFiles/hrmc_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/hrmc_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/hrmc_sim.dir/stats.cpp.o"
+  "CMakeFiles/hrmc_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/hrmc_sim.dir/time.cpp.o"
+  "CMakeFiles/hrmc_sim.dir/time.cpp.o.d"
+  "libhrmc_sim.a"
+  "libhrmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

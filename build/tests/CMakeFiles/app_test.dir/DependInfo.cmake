@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app_test.cpp" "tests/CMakeFiles/app_test.dir/app_test.cpp.o" "gcc" "tests/CMakeFiles/app_test.dir/app_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/hrmc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hrmc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/hrmc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/hrmc/CMakeFiles/hrmc_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hrmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/hrmc_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hrmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_endtoend_test.dir/hrmc_endtoend_test.cpp.o"
+  "CMakeFiles/hrmc_endtoend_test.dir/hrmc_endtoend_test.cpp.o.d"
+  "hrmc_endtoend_test"
+  "hrmc_endtoend_test.pdb"
+  "hrmc_endtoend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_endtoend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

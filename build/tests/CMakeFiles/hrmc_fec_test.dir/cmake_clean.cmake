@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_fec_test.dir/hrmc_fec_test.cpp.o"
+  "CMakeFiles/hrmc_fec_test.dir/hrmc_fec_test.cpp.o.d"
+  "hrmc_fec_test"
+  "hrmc_fec_test.pdb"
+  "hrmc_fec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_fec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

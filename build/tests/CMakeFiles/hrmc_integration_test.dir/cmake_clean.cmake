@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_integration_test.dir/hrmc_integration_test.cpp.o"
+  "CMakeFiles/hrmc_integration_test.dir/hrmc_integration_test.cpp.o.d"
+  "hrmc_integration_test"
+  "hrmc_integration_test.pdb"
+  "hrmc_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

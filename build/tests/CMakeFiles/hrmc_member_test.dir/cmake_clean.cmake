@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_member_test.dir/hrmc_member_test.cpp.o"
+  "CMakeFiles/hrmc_member_test.dir/hrmc_member_test.cpp.o.d"
+  "hrmc_member_test"
+  "hrmc_member_test.pdb"
+  "hrmc_member_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_member_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_nak_list_test.dir/hrmc_nak_list_test.cpp.o"
+  "CMakeFiles/hrmc_nak_list_test.dir/hrmc_nak_list_test.cpp.o.d"
+  "hrmc_nak_list_test"
+  "hrmc_nak_list_test.pdb"
+  "hrmc_nak_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_nak_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hrmc_nak_list_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_property_test.dir/hrmc_property_test.cpp.o"
+  "CMakeFiles/hrmc_property_test.dir/hrmc_property_test.cpp.o.d"
+  "hrmc_property_test"
+  "hrmc_property_test.pdb"
+  "hrmc_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_rate_test.dir/hrmc_rate_test.cpp.o"
+  "CMakeFiles/hrmc_rate_test.dir/hrmc_rate_test.cpp.o.d"
+  "hrmc_rate_test"
+  "hrmc_rate_test.pdb"
+  "hrmc_rate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_rate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hrmc_rate_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_receiver_test.dir/hrmc_receiver_test.cpp.o"
+  "CMakeFiles/hrmc_receiver_test.dir/hrmc_receiver_test.cpp.o.d"
+  "hrmc_receiver_test"
+  "hrmc_receiver_test.pdb"
+  "hrmc_receiver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_receiver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_reliability_test.dir/hrmc_reliability_test.cpp.o"
+  "CMakeFiles/hrmc_reliability_test.dir/hrmc_reliability_test.cpp.o.d"
+  "hrmc_reliability_test"
+  "hrmc_reliability_test.pdb"
+  "hrmc_reliability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_reliability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_rtt_test.dir/hrmc_rtt_test.cpp.o"
+  "CMakeFiles/hrmc_rtt_test.dir/hrmc_rtt_test.cpp.o.d"
+  "hrmc_rtt_test"
+  "hrmc_rtt_test.pdb"
+  "hrmc_rtt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_rtt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_sender_test.dir/hrmc_sender_test.cpp.o"
+  "CMakeFiles/hrmc_sender_test.dir/hrmc_sender_test.cpp.o.d"
+  "hrmc_sender_test"
+  "hrmc_sender_test.pdb"
+  "hrmc_sender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_sender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

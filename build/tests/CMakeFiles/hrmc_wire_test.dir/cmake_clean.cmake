@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hrmc_wire_test.dir/hrmc_wire_test.cpp.o"
+  "CMakeFiles/hrmc_wire_test.dir/hrmc_wire_test.cpp.o.d"
+  "hrmc_wire_test"
+  "hrmc_wire_test.pdb"
+  "hrmc_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hrmc_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern_checksum_test.dir/kern_checksum_test.cpp.o"
+  "CMakeFiles/kern_checksum_test.dir/kern_checksum_test.cpp.o.d"
+  "kern_checksum_test"
+  "kern_checksum_test.pdb"
+  "kern_checksum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern_checksum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

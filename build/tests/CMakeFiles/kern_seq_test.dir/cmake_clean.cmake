@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern_seq_test.dir/kern_seq_test.cpp.o"
+  "CMakeFiles/kern_seq_test.dir/kern_seq_test.cpp.o.d"
+  "kern_seq_test"
+  "kern_seq_test.pdb"
+  "kern_seq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern_seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern_skbuff_test.dir/kern_skbuff_test.cpp.o"
+  "CMakeFiles/kern_skbuff_test.dir/kern_skbuff_test.cpp.o.d"
+  "kern_skbuff_test"
+  "kern_skbuff_test.pdb"
+  "kern_skbuff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern_skbuff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kern_timer_test.dir/kern_timer_test.cpp.o"
+  "CMakeFiles/kern_timer_test.dir/kern_timer_test.cpp.o.d"
+  "kern_timer_test"
+  "kern_timer_test.pdb"
+  "kern_timer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kern_timer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

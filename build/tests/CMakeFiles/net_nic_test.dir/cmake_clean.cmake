@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_nic_test.dir/net_nic_test.cpp.o"
+  "CMakeFiles/net_nic_test.dir/net_nic_test.cpp.o.d"
+  "net_nic_test"
+  "net_nic_test.pdb"
+  "net_nic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_nic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_random_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/kern_skbuff_test[1]_include.cmake")
+include("/root/repo/build/tests/kern_seq_test[1]_include.cmake")
+include("/root/repo/build/tests/kern_checksum_test[1]_include.cmake")
+include("/root/repo/build/tests/kern_timer_test[1]_include.cmake")
+include("/root/repo/build/tests/net_nic_test[1]_include.cmake")
+include("/root/repo/build/tests/net_router_test[1]_include.cmake")
+include("/root/repo/build/tests/net_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/net_host_test[1]_include.cmake")
+include("/root/repo/build/tests/hrmc_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/hrmc_member_test[1]_include.cmake")
+include("/root/repo/build/tests/hrmc_nak_list_test[1]_include.cmake")
+include("/root/repo/build/tests/hrmc_rate_test[1]_include.cmake")
+include("/root/repo/build/tests/hrmc_rtt_test[1]_include.cmake")
+include("/root/repo/build/tests/hrmc_endtoend_test[1]_include.cmake")
+include("/root/repo/build/tests/hrmc_reliability_test[1]_include.cmake")
+include("/root/repo/build/tests/hrmc_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/hrmc_fec_test[1]_include.cmake")
+include("/root/repo/build/tests/hrmc_property_test[1]_include.cmake")
+include("/root/repo/build/tests/hrmc_receiver_test[1]_include.cmake")
+include("/root/repo/build/tests/hrmc_sender_test[1]_include.cmake")
+include("/root/repo/build/tests/app_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_minitcp_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
