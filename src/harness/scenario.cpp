@@ -21,6 +21,31 @@ RunResult run_transfer(const Scenario& sc) {
 
   const net::Endpoint group{kGroupAddr, kGroupPort};
 
+  // Which receivers does the fault plan ever crash, and which are
+  // expected to hold the complete stream at the end (never crashed, or
+  // crashed but restarted afterwards — a restarted receiver resyncs
+  // from the current position, so it completes the *tail*, which is
+  // what stream_complete() tracks; byte-pattern verification is
+  // disabled for it since the skipped history would fail the check).
+  std::vector<bool> crashed_ever(topo.receiver_count(), false);
+  std::vector<bool> expect_complete(topo.receiver_count(), true);
+  {
+    std::vector<net::FaultEvent> evs = sc.faults.events;
+    std::stable_sort(evs.begin(), evs.end(),
+                     [](const net::FaultEvent& a, const net::FaultEvent& b) {
+                       return a.at < b.at;
+                     });
+    for (const net::FaultEvent& ev : evs) {
+      if (ev.target >= crashed_ever.size()) continue;
+      if (ev.kind == net::FaultKind::kReceiverCrash) {
+        crashed_ever[ev.target] = true;
+        expect_complete[ev.target] = false;
+      } else if (ev.kind == net::FaultKind::kReceiverRestart) {
+        expect_complete[ev.target] = true;
+      }
+    }
+  }
+
   // Receivers and their applications.
   std::vector<std::unique_ptr<proto::HrmcReceiver>> rcv_socks;
   std::vector<std::unique_ptr<app::SinkApp>> sinks;
@@ -30,11 +55,27 @@ RunResult run_transfer(const Scenario& sc) {
     app::SinkApp::Options opt;
     opt.chunk = sc.workload.chunk;
     opt.read_rate_bps = sc.workload.sink_read_rate_bps;
+    opt.verify = !crashed_ever[i];
     if (sc.workload.disk_sink) opt.disk = sc.workload.disk;
     opt.seed = sim::substream_seed(sc.seed, "sink:" + std::to_string(i));
     sinks.push_back(std::make_unique<app::SinkApp>(*sock, sched, opt));
     sock->open();
     rcv_socks.push_back(std::move(sock));
+  }
+
+  // Fault injection. Constructed only for a non-empty plan so that
+  // fault-free runs are bit-identical to runs predating the injector.
+  std::unique_ptr<net::FaultInjector> injector;
+  if (!sc.faults.empty()) {
+    injector = std::make_unique<net::FaultInjector>(sched, topo, sc.faults,
+                                                    sc.seed);
+    injector->on_receiver_crash = [&rcv_socks](std::size_t i) {
+      if (i < rcv_socks.size()) rcv_socks[i]->crash();
+    };
+    injector->on_receiver_restart = [&rcv_socks](std::size_t i) {
+      if (i < rcv_socks.size()) rcv_socks[i]->restart();
+    };
+    injector->arm();
   }
 
   // Sender and its application.
@@ -52,8 +93,17 @@ RunResult run_transfer(const Scenario& sc) {
     return std::all_of(sinks.begin(), sinks.end(),
                        [](const auto& s) { return s->stream_complete(); });
   };
+  // Run until every receiver we *expect* to finish has finished (a
+  // receiver crashed without restart never will — waiting on it would
+  // just spin to the time limit) and the sender released everything.
+  const auto survivors_complete = [&] {
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      if (expect_complete[i] && !sinks[i]->stream_complete()) return false;
+    }
+    return true;
+  };
   const auto done = [&] {
-    return all_receivers_complete() && snd.finished();
+    return survivors_complete() && snd.finished();
   };
 
   sched.run_while([&] { return !done(); }, sc.time_limit);
@@ -61,6 +111,12 @@ RunResult run_transfer(const Scenario& sc) {
   RunResult res;
   res.completed = all_receivers_complete();
   res.sender_finished = snd.finished();
+  res.stall_time = snd.window_stall_time();
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    if (!expect_complete[i]) continue;
+    ++res.survivor_count;
+    if (sinks[i]->stream_complete()) ++res.survivors_completed;
+  }
 
   sim::SimTime last_complete = sc.sender_start;
   for (const auto& s : sinks) {
@@ -75,6 +131,7 @@ RunResult run_transfer(const Scenario& sc) {
   }
 
   res.sender = snd.stats();
+  res.evicted_count = res.sender.members_evicted;
   for (std::size_t i = 0; i < rcv_socks.size(); ++i) {
     const proto::ReceiverStats& rs = rcv_socks[i]->stats();
     res.per_receiver.push_back(rs);

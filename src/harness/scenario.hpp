@@ -14,6 +14,7 @@
 #include "app/apps.hpp"
 #include "hrmc/config.hpp"
 #include "hrmc/stats.hpp"
+#include "net/fault.hpp"
 #include "net/topology.hpp"
 
 namespace hrmc::harness {
@@ -39,6 +40,10 @@ struct Scenario {
   /// Sender start offset; receivers open (and JOIN) at t = 0.
   sim::SimTime sender_start = sim::milliseconds(100);
   std::uint64_t seed = 1;
+  /// Injected failures (crashes, flaps, partitions, burst loss). Empty
+  /// by default; an empty plan adds no events and no RNG draws, so
+  /// fault-free runs are bit-identical with or without this field.
+  net::FaultPlan faults;
 };
 
 struct RunResult {
@@ -55,6 +60,13 @@ struct RunResult {
 
   std::uint64_t sender_nic_tx_drops = 0;
   std::uint64_t router_loss_drops = 0;
+
+  // Degradation metrics (fault scenarios). A "survivor" is a receiver
+  // the fault plan never crashed, or crashed and later restarted.
+  int survivor_count = 0;
+  int survivors_completed = 0;
+  std::uint64_t evicted_count = 0;  ///< members evicted by the sender
+  sim::SimTime stall_time = 0;      ///< window time blocked past hold
 
   /// Fig 3 metric, percent.
   [[nodiscard]] double complete_info_pct() const {

@@ -20,6 +20,23 @@ enum class Mode {
   kHrmc,
 };
 
+/// What the sender does with a member that stops answering PROBEs (the
+/// paper never addresses this: its release gate waits on *every* member,
+/// so one silently crashed receiver stalls the window for everyone).
+enum class EvictionPolicy {
+  /// Paper-faithful: keep probing (with backoff) and never advance the
+  /// window past data the dead member is still owed.
+  kStall,
+  /// Drop the member from the table after max_probe_retries unanswered
+  /// probes; the window frees and the survivors proceed. A receiver that
+  /// was merely partitioned can re-JOIN and resync.
+  kEvict,
+  /// Keep the member but stop gating releases on it: data it is owed
+  /// releases unconditionally, exactly as baseline RMC would, and a
+  /// late NAK for it earns a NAK_ERR.
+  kRmcFallback,
+};
+
 struct Config {
   Mode mode = Mode::kHrmc;
 
@@ -93,6 +110,18 @@ struct Config {
   // --- Probing ---
   /// Minimum spacing between PROBEs to the same receiver.
   double probe_interval_rtts = 1.0;
+
+  // --- Failure detection and recovery (robustness extension) ---
+  /// Policy once a member exhausts its probe-retry budget.
+  EvictionPolicy eviction_policy = EvictionPolicy::kStall;
+  /// Consecutive unanswered PROBEs before a member is declared dead.
+  int max_probe_retries = 8;
+  /// Probe-spacing growth per unanswered retry. 1.0 = fixed spacing,
+  /// which is exactly the pre-extension behavior (the default, so
+  /// fault-free runs are unchanged); 2.0 = classic exponential backoff.
+  double probe_backoff = 1.0;
+  /// Cap on the backoff exponent (bounds both the spacing and pow()).
+  int probe_backoff_cap = 6;
 
   // --- Optional extensions (§6 future work; off by default) ---
   /// (1) Early probes: probe receivers when a packet is within this many

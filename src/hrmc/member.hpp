@@ -34,6 +34,10 @@ struct McMember {
   sim::SimTime last_probed = -1;
   /// Sequence the outstanding probe asked about; 0 when none.
   kern::Seq probe_seq = 0;
+  /// Consecutive probes re-sent without any answer; resets to 0 the
+  /// moment the outstanding probe is answered. Reaching
+  /// Config::max_probe_retries declares the member dead.
+  int probe_retries = 0;
 
   // Intrusive links.
   McMember* next = nullptr;        ///< doubly linked list of all members

@@ -41,6 +41,10 @@ class NakList {
   /// restarted. The NAK Manager re-sends these.
   std::vector<NakRange> due(sim::SimTime now, sim::SimTime interval);
 
+  /// Drops every pending range (receiver crash: the reassembly state
+  /// the ranges describe is gone).
+  void clear() { ranges_.clear(); }
+
   [[nodiscard]] bool empty() const { return ranges_.empty(); }
   [[nodiscard]] std::size_t size() const { return ranges_.size(); }
   [[nodiscard]] const std::vector<NakRange>& ranges() const { return ranges_; }

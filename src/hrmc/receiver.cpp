@@ -67,6 +67,45 @@ void HrmcReceiver::stop() {
 }
 
 // --------------------------------------------------------------------
+// Crash / restart (fault injection)
+// --------------------------------------------------------------------
+
+void HrmcReceiver::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  stop();
+  receive_queue_.clear();
+  out_of_order_queue_.clear();
+  ooo_bytes_ = 0;
+  nak_list_.clear();
+  fec_cache_.clear();
+  fin_seq_.reset();
+  complete_reported_ = false;
+  resync_pending_ = false;
+  join_state_ = JoinState::kIdle;
+  join_tries_ = 0;
+  last_data_at_ = -1;
+  interarrival_ = 0;
+  // rcv_nxt_/rcv_wnd_ stay as stale markers until restart() resyncs;
+  // nothing reads them while crashed_ (rx() drops everything).
+}
+
+void HrmcReceiver::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  resync_pending_ = true;
+  update_period_ = cfg_.update_period_init;
+  probe_seen_this_period_ = false;
+  // Multicast subscription: the crash never sent an IGMP leave, so the
+  // router kept forwarding; re-join is idempotent but covers a restart
+  // after an explicit close().
+  host_.join_group(group_.addr);
+  if (sender_addr_ != 0) send_join();
+  // If the sender is unknown (we crashed before its first packet), the
+  // resync JOIN goes out from rx() when a packet reveals its address.
+}
+
+// --------------------------------------------------------------------
 // Application interface (hrmc_recvmsg)
 // --------------------------------------------------------------------
 
@@ -98,6 +137,9 @@ std::size_t HrmcReceiver::recv(std::span<std::uint8_t> out) {
 // --------------------------------------------------------------------
 
 void HrmcReceiver::rx(kern::SkBuffPtr skb) {
+  // A crashed host cannot process anything (the simulated host already
+  // drops at its boundary; this guards direct calls in tests).
+  if (crashed_) return;
   auto h = read_header(*skb);
   if (!h || h->dport != group_.port) {
     stats_.bad_packets++;
@@ -107,6 +149,17 @@ void HrmcReceiver::rx(kern::SkBuffPtr skb) {
   // goes out "in response to the first data packet" (§2).
   if (sender_addr_ == 0 && !net::is_multicast(skb->saddr)) {
     sender_addr_ = skb->saddr;
+  }
+  if (resync_pending_) {
+    // Post-restart limbo: rcv_nxt_ is a stale pre-crash value, so
+    // processing DATA / KEEPALIVE / PROBE against it would emit
+    // garbage feedback (worse: a stale UPDATE could re-stall the
+    // sender's window). Only the JOIN_RESPONSE that re-anchors the
+    // stream gets through.
+    if (join_state_ == JoinState::kIdle && sender_addr_ != 0) send_join();
+    if (h->type != PacketType::kJoinResponse) return;
+    process_join_response(*h);
+    return;
   }
   if (join_state_ == JoinState::kIdle && sender_addr_ != 0 &&
       h->type == PacketType::kData) {
@@ -453,9 +506,16 @@ void HrmcReceiver::process_keepalive(const Header& h) {
 }
 
 void HrmcReceiver::process_join_response(const Header& h) {
-  (void)h;
   if (join_state_ == JoinState::kJoining) {
     join_state_ = JoinState::kJoined;
+    if (resync_pending_) {
+      // Crash-restart resync: re-anchor the stream at the sender's
+      // current position (JOIN_RESPONSE carries snd_nxt). History
+      // before it is abandoned — late-join semantics, not recovery.
+      rcv_wnd_ = rcv_nxt_ = h.seq;
+      resync_pending_ = false;
+      ++resyncs_;
+    }
     rtt_.sample(host_.scheduler().now() - join_sent_at_,
                 /*from_retransmit=*/join_tries_ > 1);
     join_timer_.del_timer();
@@ -524,7 +584,9 @@ void HrmcReceiver::send_join() {
   join_state_ = JoinState::kJoining;
   join_sent_at_ = host_.scheduler().now();
   ++join_tries_;
-  emit(PacketType::kJoin, rcv_nxt_, 0, 0);
+  // URG on a JOIN marks a crash-restart resync: the sender must anchor
+  // this member at its current position, not at our stale rcv_nxt_.
+  emit(PacketType::kJoin, rcv_nxt_, 0, 0, /*urg=*/resync_pending_);
   join_timer_.mod_timer_in(kJoinRetryJiffies);
 }
 

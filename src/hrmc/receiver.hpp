@@ -61,6 +61,24 @@ class HrmcReceiver final : public net::Transport {
   /// Cancels every timer (see HrmcSender::stop).
   void stop();
 
+  // --- Crash / restart (fault injection) ---
+
+  /// Simulated host crash: every piece of volatile protocol state —
+  /// reassembly queues, pending NAKs, FEC cache, timers, join state —
+  /// is lost, exactly as a reboot would lose it. The socket keeps
+  /// accumulating stats (they model the experiment's observer, not the
+  /// host's memory).
+  void crash();
+
+  /// Host back up: rejoin the group and resync from the sender's
+  /// *current* stream position (late-join semantics) via an URG-marked
+  /// JOIN, instead of NAKing history that may already be released.
+  void restart();
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  /// Completed crash-restart resyncs (JOIN_RESPONSE re-anchored us).
+  [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
+
   // --- Application interface (hrmc_recvmsg) ---
 
   /// Copies up to out.size() in-order bytes to the application.
@@ -218,6 +236,13 @@ class HrmcReceiver final : public net::Transport {
   bool complete_reported_ = false;
   bool stream_error_ = false;
   std::uint64_t bytes_skipped_ = 0;
+
+  // Crash / restart state. While resync_pending_, rcv_nxt_/rcv_wnd_ are
+  // stale (pre-crash) and every packet except the re-anchoring
+  // JOIN_RESPONSE is ignored.
+  bool crashed_ = false;
+  bool resync_pending_ = false;
+  std::uint64_t resyncs_ = 0;
 
   JoinState join_state_ = JoinState::kIdle;
   sim::SimTime join_sent_at_ = 0;

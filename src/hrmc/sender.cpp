@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstring>
 #include <limits>
+#include <vector>
 
 namespace hrmc::proto {
 
@@ -316,10 +318,19 @@ void HrmcSender::try_advance_window() {
 
     if (cfg_.mode == Mode::kHrmc && !members_.empty() && !complete) {
       probe_lacking_members(head.seq_end);
-      break;  // the window does not advance until everyone has the data
+      if (!resolve_dead_members(head.seq_end)) {
+        // The window does not advance until every *live* member has the
+        // data; from here until release the sender is stalled.
+        if (stall_since_ < 0) stall_since_ = now;
+        break;
+      }
     }
 
     // Safe (H-RMC) or unconditional (RMC) release.
+    if (stall_since_ >= 0) {
+      stats_.window_stall_time += now - stall_since_;
+      stall_since_ = -1;
+    }
     const std::size_t plen = payload_len(head);
     queued_bytes_ -= plen;
     snd_wnd_ = head.seq_end;
@@ -339,24 +350,44 @@ void HrmcSender::try_advance_window() {
   }
 }
 
-void HrmcSender::probe_lacking_members(Seq release_seq) {
-  const sim::SimTime now = host_.scheduler().now();
+sim::SimTime HrmcSender::probe_spacing(const McMember& m) const {
   // Probe spacing floored at one jiffy: below that, re-probes could not
   // possibly have been answered yet, and with many receivers the storm
   // of control packets starves the data path at the device queue.
-  const sim::SimTime spacing = std::max<sim::SimTime>(
+  const sim::SimTime base = std::max<sim::SimTime>(
       static_cast<sim::SimTime>(cfg_.probe_interval_rtts *
                                 static_cast<double>(rtt_.srtt())),
       kern::kJiffy);
+  if (cfg_.probe_backoff <= 1.0 || m.probe_retries == 0) return base;
+  const int exp = std::min(m.probe_retries, cfg_.probe_backoff_cap);
+  return static_cast<sim::SimTime>(static_cast<double>(base) *
+                                   std::pow(cfg_.probe_backoff, exp));
+}
+
+void HrmcSender::probe_lacking_members(Seq release_seq) {
+  const sim::SimTime now = host_.scheduler().now();
 
   std::vector<McMember*> lacking;
   members_.for_each([&](McMember& m) {
     if (seq_before(m.next_expected, release_seq) &&
-        now - m.last_probed >= spacing) {
+        now - m.last_probed >= probe_spacing(m)) {
       lacking.push_back(&m);
     }
   });
   if (lacking.empty()) return;
+
+  const auto mark_probed = [&](McMember& m) {
+    if (m.probe_seq != 0) {
+      // Re-probing while the previous probe is unanswered: one step
+      // closer to declaring the member dead.
+      if (m.probe_retries < std::numeric_limits<int>::max()) {
+        ++m.probe_retries;
+      }
+      stats_.probe_retries++;
+    }
+    m.last_probed = now;
+    m.probe_seq = release_seq;
+  };
 
   stats_.probe_rounds++;
   if (cfg_.mcast_probe_threshold > 0 &&
@@ -365,19 +396,58 @@ void HrmcSender::probe_lacking_members(Seq release_seq) {
     emit_control_packet(PacketType::kProbe, group_.addr, release_seq,
                         rate_.rate(), 0);
     stats_.probes_sent++;
-    for (McMember* m : lacking) {
-      m->last_probed = now;
-      m->probe_seq = release_seq;
-    }
+    for (McMember* m : lacking) mark_probed(*m);
     return;
   }
   for (McMember* m : lacking) {
     emit_control_packet(PacketType::kProbe, m->addr, release_seq,
                         rate_.rate(), 0);
     stats_.probes_sent++;
-    m->last_probed = now;
-    m->probe_seq = release_seq;
+    mark_probed(*m);
   }
+}
+
+bool HrmcSender::resolve_dead_members(Seq release_seq) {
+  if (cfg_.eviction_policy == EvictionPolicy::kStall) return false;
+
+  bool any_dead = false;
+  bool live_member_lacking = false;
+  std::vector<net::Addr> dead;
+  members_.for_each([&](McMember& m) {
+    if (!seq_before(m.next_expected, release_seq)) return;
+    if (member_dead(m)) {
+      any_dead = true;
+      dead.push_back(m.addr);
+    } else {
+      live_member_lacking = true;
+    }
+  });
+  if (!any_dead) return false;
+
+  if (cfg_.eviction_policy == EvictionPolicy::kEvict) {
+    for (net::Addr addr : dead) {
+      members_.remove(addr);
+      stats_.members_evicted++;
+    }
+    // Release only if no live member is still owed the data (the gate
+    // keeps holding for stragglers that do answer probes).
+    return !live_member_lacking;
+  }
+
+  // kRmcFallback: the member stays in the table (its feedback keeps
+  // refreshing state, and a NAK for released data earns a NAK_ERR just
+  // as in baseline RMC), but it no longer holds the window.
+  if (!live_member_lacking) {
+    stats_.dead_member_releases++;
+    return true;
+  }
+  return false;
+}
+
+sim::SimTime HrmcSender::window_stall_time() const {
+  sim::SimTime total = stats_.window_stall_time;
+  if (stall_since_ >= 0) total += host_.scheduler().now() - stall_since_;
+  return total;
 }
 
 // --------------------------------------------------------------------
@@ -425,9 +495,11 @@ McMember* HrmcSender::refresh_member(net::Addr addr, Seq next_expected,
       // the estimate toward zero.)
       rtt_.sample(now - m->last_probed);
       m->probe_seq = 0;
+      m->probe_retries = 0;
     } else if (seq_after_eq(next_expected, m->probe_seq)) {
       // Unsolicited, but it confirms everything the probe asked about.
       m->probe_seq = 0;
+      m->probe_retries = 0;
     }
   }
   return m;
@@ -574,6 +646,22 @@ void HrmcSender::process_update(const Header& h, net::Addr from) {
 
 void HrmcSender::process_join(const Header& h, net::Addr from) {
   stats_.joins_received++;
+  if (h.urg) {
+    // Resync JOIN from a crash-restarted receiver: it abandons whatever
+    // history it held and re-enters the stream at the current position,
+    // so its membership record must NOT anchor at its stale h.seq (that
+    // would re-stall the window on data the receiver will never NAK).
+    stats_.resync_joins_received++;
+    McMember* m = members_.add(from, snd_nxt_);
+    m->next_expected = snd_nxt_;  // force: the member may pre-date the crash
+    m->heard_from = true;
+    m->last_heard = host_.scheduler().now();
+    m->probe_seq = 0;
+    m->probe_retries = 0;
+    emit_control_packet(PacketType::kJoinResponse, from, snd_nxt_,
+                        rate_.rate(), 0, /*urg=*/false, /*fin=*/false);
+    return;
+  }
   // A JOIN answers the first data packet the receiver saw: it carries
   // the only RTT evidence the sender gets from loss-free receivers in
   // RMC mode (worst-RTT estimation starts here).

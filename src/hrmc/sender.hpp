@@ -90,6 +90,11 @@ class HrmcSender final : public net::Transport {
   [[nodiscard]] kern::Seq snd_sent() const { return snd_sent_; }
   [[nodiscard]] bool fin_queued() const { return fin_closed_; }
 
+  /// Total time the send window has sat blocked past its hold time
+  /// waiting on member information, including a stall still open now
+  /// (SenderStats::window_stall_time only counts closed intervals).
+  [[nodiscard]] sim::SimTime window_stall_time() const;
+
   // --- net::Transport (hrmc_master_rcv entry) ---
   void rx(kern::SkBuffPtr skb) override;
 
@@ -136,6 +141,16 @@ class HrmcSender final : public net::Transport {
   std::uint64_t send_new_data(std::uint64_t budget);
   void try_advance_window();
   void probe_lacking_members(kern::Seq release_seq);
+  /// Dead-member handling at the release gate. Returns true when the
+  /// head may release despite incomplete information (members evicted
+  /// under kEvict, or every lacking member dead under kRmcFallback).
+  bool resolve_dead_members(kern::Seq release_seq);
+  [[nodiscard]] bool member_dead(const McMember& m) const {
+    return m.probe_seq != 0 && m.probe_retries >= cfg_.max_probe_retries;
+  }
+  /// Per-member probe spacing: the base interval grown by the
+  /// configured backoff for each unanswered retry.
+  [[nodiscard]] sim::SimTime probe_spacing(const McMember& m) const;
   void transmit_record(TxRecord& rec, bool retransmission);
 
   // Feedback processing.
@@ -204,6 +219,11 @@ class HrmcSender final : public net::Transport {
   std::vector<std::uint8_t> fec_xor_;
   std::size_t fec_count_ = 0;
   kern::Seq fec_begin_ = 0;
+
+  /// Start of the current release-gate stall (-1 = not stalled): set
+  /// when the head's hold has expired but member information is
+  /// incomplete, cleared (and accumulated into stats) when it releases.
+  sim::SimTime stall_since_ = -1;
 
   std::vector<RetransRange> retrans_queue_;
   std::deque<SentLogEntry> sent_log_;

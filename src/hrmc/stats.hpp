@@ -23,6 +23,15 @@ struct SenderStats {
   std::uint64_t joins_received = 0;
   std::uint64_t leaves_received = 0;
 
+  // Failure detection / recovery (robustness extension)
+  std::uint64_t probe_retries = 0;     ///< probes re-sent while unanswered
+  std::uint64_t members_evicted = 0;   ///< dead members dropped (kEvict)
+  std::uint64_t dead_member_releases = 0;  ///< kRmcFallback forced releases
+  std::uint64_t resync_joins_received = 0;  ///< crash-restart rejoins
+  /// Total time (SimTime ticks) the send window sat blocked past its
+  /// hold time waiting for member information.
+  std::int64_t window_stall_time = 0;
+
   // Reliability bookkeeping
   std::uint64_t nak_errs_sent = 0;  ///< RMC mode only: request past buffer
 

@@ -1,0 +1,132 @@
+#include "net/fault.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/random.hpp"
+
+namespace hrmc::net {
+
+namespace {
+FaultEvent make_event(FaultKind kind, sim::SimTime at, std::size_t target) {
+  FaultEvent ev;
+  ev.kind = kind;
+  ev.at = at;
+  ev.target = target;
+  return ev;
+}
+}  // namespace
+
+FaultPlan& FaultPlan::crash(std::size_t receiver, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kReceiverCrash, at, receiver));
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(std::size_t receiver, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kReceiverRestart, at, receiver));
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_down(std::size_t receiver, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kLinkDown, at, receiver));
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_up(std::size_t receiver, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kLinkUp, at, receiver));
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(std::size_t group, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kPartition, at, group));
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal(std::size_t group, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kHeal, at, group));
+  return *this;
+}
+
+FaultPlan& FaultPlan::burst_loss(std::size_t group, sim::SimTime at,
+                                 const GilbertElliottConfig& ge) {
+  FaultEvent ev = make_event(FaultKind::kBurstLossStart, at, group);
+  ev.ge = ge;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::burst_loss_stop(std::size_t group, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kBurstLossStop, at, group));
+  return *this;
+}
+
+FaultInjector::FaultInjector(sim::Scheduler& sched, Topology& topo,
+                             FaultPlan plan, std::uint64_t seed)
+    : sched_(&sched), topo_(&topo), plan_(std::move(plan)), seed_(seed) {}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (const FaultEvent& ev : plan_.events) {
+    // Fail at arm time, not mid-run: a typo'd index in a declarative
+    // plan should be a clear configuration error, not an abort from
+    // deep inside the event loop.
+    const bool group_scoped = ev.kind == FaultKind::kPartition ||
+                              ev.kind == FaultKind::kHeal ||
+                              ev.kind == FaultKind::kBurstLossStart ||
+                              ev.kind == FaultKind::kBurstLossStop;
+    const std::size_t limit =
+        group_scoped ? topo_->group_count() : topo_->receiver_count();
+    if (ev.target >= limit) {
+      throw std::invalid_argument(
+          "FaultPlan event targets " +
+          std::string(group_scoped ? "group " : "receiver ") +
+          std::to_string(ev.target) + " but the topology has only " +
+          std::to_string(limit));
+    }
+    sched_->schedule_at(ev.at, [this, ev] { fire(ev); });
+  }
+}
+
+void FaultInjector::fire(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kReceiverCrash:
+      topo_->receiver(ev.target).set_down(true);
+      counters_.inc("crashes");
+      if (on_receiver_crash) on_receiver_crash(ev.target);
+      break;
+    case FaultKind::kReceiverRestart:
+      topo_->receiver(ev.target).set_down(false);
+      counters_.inc("restarts");
+      if (on_receiver_restart) on_receiver_restart(ev.target);
+      break;
+    case FaultKind::kLinkDown:
+      topo_->receiver_nic(ev.target).set_link_up(false);
+      counters_.inc("link_downs");
+      break;
+    case FaultKind::kLinkUp:
+      topo_->receiver_nic(ev.target).set_link_up(true);
+      counters_.inc("link_ups");
+      break;
+    case FaultKind::kPartition:
+      topo_->group_router(ev.target).set_down(true);
+      counters_.inc("partitions");
+      break;
+    case FaultKind::kHeal:
+      topo_->group_router(ev.target).set_down(false);
+      counters_.inc("heals");
+      break;
+    case FaultKind::kBurstLossStart:
+      topo_->group_router(ev.target).set_burst_loss(
+          ev.ge, sim::substream_seed(
+                     seed_, "fault/ge:router:" + std::to_string(ev.target)));
+      counters_.inc("burst_loss_starts");
+      break;
+    case FaultKind::kBurstLossStop:
+      topo_->group_router(ev.target).clear_burst_loss();
+      counters_.inc("burst_loss_stops");
+      break;
+  }
+}
+
+}  // namespace hrmc::net

@@ -1,0 +1,102 @@
+// Fault-injection layer: declarative failure scenarios on the scheduler.
+//
+// A FaultPlan is an ordered list of timed events — receiver crash and
+// restart, access-link flap, group-router partition and heal, burst-loss
+// onset — that the FaultInjector replays against a Topology while a
+// transfer runs. The injector owns the *network-level* consequences
+// (hosts going deaf, links dropping, routers black-holing); the
+// *protocol-level* consequences (a crashed receiver losing its
+// reassembly state, a restarted one rejoining) are delegated through
+// callbacks so the net layer stays protocol-agnostic.
+//
+// Determinism: the injector draws no randomness of its own. Burst-loss
+// events hand each router/NIC a Gilbert–Elliott model seeded from its
+// own named substream ("fault/ge:..."), so a plan never perturbs the
+// existing Bernoulli loss draws — runs with an empty plan are
+// bit-identical to runs without an injector at all.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/loss.hpp"
+#include "net/topology.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+
+namespace hrmc::net {
+
+enum class FaultKind {
+  kReceiverCrash,    ///< target receiver's host goes deaf and mute
+  kReceiverRestart,  ///< host comes back; protocol layer must rejoin
+  kLinkDown,         ///< target receiver's access NIC drops everything
+  kLinkUp,
+  kPartition,        ///< target group's router black-holes (both ways)
+  kHeal,
+  kBurstLossStart,   ///< Gilbert–Elliott loss on the target group router
+  kBurstLossStop,
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kReceiverCrash;
+  sim::SimTime at = 0;
+  /// Receiver index (crash/restart/link events) or group index
+  /// (partition/heal/burst-loss events).
+  std::size_t target = 0;
+  GilbertElliottConfig ge;  ///< kBurstLossStart only
+};
+
+/// Declarative event list. The chainable builders exist so scenarios
+/// read as a timeline:
+///   FaultPlan plan;
+///   plan.crash(2, sim::seconds(1)).restart(2, sim::seconds(3));
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  FaultPlan& crash(std::size_t receiver, sim::SimTime at);
+  FaultPlan& restart(std::size_t receiver, sim::SimTime at);
+  FaultPlan& link_down(std::size_t receiver, sim::SimTime at);
+  FaultPlan& link_up(std::size_t receiver, sim::SimTime at);
+  FaultPlan& partition(std::size_t group, sim::SimTime at);
+  FaultPlan& heal(std::size_t group, sim::SimTime at);
+  FaultPlan& burst_loss(std::size_t group, sim::SimTime at,
+                        const GilbertElliottConfig& ge);
+  FaultPlan& burst_loss_stop(std::size_t group, sim::SimTime at);
+};
+
+class FaultInjector {
+ public:
+  /// `seed` is the scenario root seed; burst-loss substreams derive from
+  /// it by name. The plan is replayed once `arm()` is called.
+  FaultInjector(sim::Scheduler& sched, Topology& topo, FaultPlan plan,
+                std::uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every event of the plan. Call once, before (or at) t = 0
+  /// of the experiment.
+  void arm();
+
+  /// Protocol-layer hooks, invoked with the receiver index *after* the
+  /// network-level state change has been applied.
+  std::function<void(std::size_t)> on_receiver_crash;
+  std::function<void(std::size_t)> on_receiver_restart;
+
+  [[nodiscard]] const sim::CounterSet& counters() const { return counters_; }
+
+ private:
+  void fire(const FaultEvent& ev);
+
+  sim::Scheduler* sched_;
+  Topology* topo_;
+  FaultPlan plan_;
+  std::uint64_t seed_;
+  bool armed_ = false;
+  sim::CounterSet counters_;
+};
+
+}  // namespace hrmc::net

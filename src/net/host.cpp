@@ -13,7 +13,7 @@ namespace hrmc::net {
 // the paper reports on the 100 Mbps network.
 
 void Host::send(kern::SkBuffPtr skb) {
-  if (nic_ == nullptr) return;
+  if (nic_ == nullptr || down_) return;
   skb->saddr = addr_;
   skb->serial = next_serial_++;
   const sim::SimTime cost = Cpu::hrmc_cost(skb->size());
@@ -26,6 +26,7 @@ void Host::send(kern::SkBuffPtr skb) {
 }
 
 void Host::deliver(kern::SkBuffPtr skb) {
+  if (down_) return;
   sched_->schedule_after(
       Cpu::lower_layer_cost(), [this, skb = std::move(skb)]() mutable {
         const sim::SimTime cost = Cpu::hrmc_cost(skb->size());

@@ -59,6 +59,13 @@ class Host final : public PacketSink {
   /// cost, then demuxes to the registered transport.
   void deliver(kern::SkBuffPtr skb) override;
 
+  /// Crash state (fault injection): a down host is deaf and mute —
+  /// everything it would send or receive vanishes at the host boundary.
+  /// Protocol state is NOT touched here; a crashed protocol endpoint is
+  /// reset by its own crash()/restart() hooks.
+  void set_down(bool down) { down_ = down; }
+  [[nodiscard]] bool is_down() const { return down_; }
+
   void join_group(Addr group) {
     if (group_control_ != nullptr) group_control_->join_group(group, this);
   }
@@ -77,6 +84,7 @@ class Host final : public PacketSink {
   Cpu cpu_;
   std::string name_;
   Addr addr_;
+  bool down_ = false;
   Nic* nic_ = nullptr;
   GroupControl* group_control_ = nullptr;
   std::unordered_map<std::uint8_t, Transport*> transports_;

@@ -1,0 +1,54 @@
+// Loss models beyond time-uniform Bernoulli.
+//
+// The Gilbert–Elliott model is a two-state Markov chain (Good / Bad)
+// advanced once per packet, with an independent loss probability in each
+// state. It produces the *bursty* loss of real paths — a router buffer
+// overflowing, a wireless link fading — which Bernoulli loss at the same
+// mean rate cannot: burstiness is exactly what stresses NAK suppression
+// and the sender's retransmission collapsing.
+//
+// Determinism contract (sim/random.hpp): every GilbertElliott instance
+// draws from its own named substream, so attaching one to a router or
+// NIC never perturbs the draws of the existing Bernoulli loss streams —
+// a fault-free run stays bit-identical whether or not the model is
+// merely *available*.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+
+namespace hrmc::net {
+
+struct GilbertElliottConfig {
+  double p_good_bad = 0.0;  ///< per-packet transition probability G -> B
+  double p_bad_good = 0.0;  ///< per-packet transition probability B -> G
+  double loss_good = 0.0;   ///< loss probability while in the Good state
+  double loss_bad = 1.0;    ///< loss probability while in the Bad state
+};
+
+class GilbertElliott {
+ public:
+  GilbertElliott(const GilbertElliottConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg), rng_(seed) {}
+
+  /// Advances the chain one packet and returns the loss decision.
+  bool drop() {
+    if (bad_) {
+      if (rng_.chance(cfg_.p_bad_good)) bad_ = false;
+    } else {
+      if (rng_.chance(cfg_.p_good_bad)) bad_ = true;
+    }
+    return rng_.chance(bad_ ? cfg_.loss_bad : cfg_.loss_good);
+  }
+
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+  [[nodiscard]] const GilbertElliottConfig& config() const { return cfg_; }
+
+ private:
+  GilbertElliottConfig cfg_;
+  sim::Rng rng_;
+  bool bad_ = false;  ///< chain starts in the Good state
+};
+
+}  // namespace hrmc::net

@@ -8,6 +8,10 @@ Nic::Nic(sim::Scheduler& sched, std::string name, NicConfig cfg,
 
 void Nic::transmit(kern::SkBuffPtr skb) {
   counters_.inc("tx_offered");
+  if (!link_up_) {
+    counters_.inc("link_down_drops");
+    return;
+  }
   if (tx_queue_.size() >= cfg_.tx_ring) {
     counters_.inc("tx_ring_drops");
     return;
@@ -59,8 +63,16 @@ void Nic::drain_tx() {
 
 void Nic::deliver(kern::SkBuffPtr skb) {
   counters_.inc("rx_offered");
+  if (!link_up_) {
+    counters_.inc("link_down_drops");
+    return;
+  }
   if (loss_rng_.chance(cfg_.rx_loss_rate)) {
     counters_.inc("rx_loss_drops");
+    return;
+  }
+  if (burst_loss_ && burst_loss_->drop()) {
+    counters_.inc("burst_loss_drops");
     return;
   }
   counters_.inc("rx_packets");

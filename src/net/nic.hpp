@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 
 #include "kern/jiffies.hpp"
+#include "net/loss.hpp"
 #include "net/sink.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -61,6 +63,21 @@ class Nic final : public PacketSink {
   /// host. Applies loss, then the configured delay, then serialization.
   void deliver(kern::SkBuffPtr skb) override;
 
+  /// Link state (fault injection): a down link drops every packet in
+  /// both directions at the card boundary, counted as
+  /// "link_down_drops". Packets already serializing are not recalled.
+  void set_link_up(bool up) { link_up_ = up; }
+  [[nodiscard]] bool link_up() const { return link_up_; }
+
+  /// Attaches a Gilbert–Elliott burst-loss model to the receive path,
+  /// alongside (not replacing) the Bernoulli rx_loss_rate. The model
+  /// owns its own RNG stream, so enabling it never perturbs the
+  /// Bernoulli draws.
+  void set_burst_loss(const GilbertElliottConfig& ge, std::uint64_t seed) {
+    burst_loss_.emplace(ge, seed);
+  }
+  void clear_burst_loss() { burst_loss_.reset(); }
+
   [[nodiscard]] const sim::CounterSet& counters() const { return counters_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const NicConfig& config() const { return cfg_; }
@@ -88,6 +105,8 @@ class Nic final : public PacketSink {
 
   std::deque<kern::SkBuffPtr> tx_queue_;
   bool tx_busy_ = false;
+  bool link_up_ = true;
+  std::optional<GilbertElliott> burst_loss_;
   std::int64_t burst_jiffy_ = -1;
   std::size_t burst_count_ = 0;
   std::size_t burst_prev_ = 0;

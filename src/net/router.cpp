@@ -32,6 +32,10 @@ bool Router::group_active(Addr group) const {
 
 void Router::deliver(kern::SkBuffPtr skb) {
   counters_.inc("offered");
+  if (down_) {
+    counters_.inc("down_drops");
+    return;
+  }
   if (skb->ttl == 0) {
     counters_.inc("ttl_drops");
     return;
@@ -41,6 +45,10 @@ void Router::deliver(kern::SkBuffPtr skb) {
   // here is correlated across every downstream receiver.
   if (loss_rng_.chance(cfg_.loss_rate)) {
     counters_.inc("loss_drops");
+    return;
+  }
+  if (burst_loss_ && burst_loss_->drop()) {
+    counters_.inc("burst_loss_drops");
     return;
   }
   if (is_multicast(skb->daddr)) {

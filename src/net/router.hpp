@@ -15,11 +15,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/addr.hpp"
+#include "net/loss.hpp"
 #include "net/sink.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -55,6 +57,22 @@ class Router final : public PacketSink {
 
   void deliver(kern::SkBuffPtr skb) override;
 
+  /// Partition state (fault injection): a down router black-holes every
+  /// packet in every direction — for a group router this partitions its
+  /// whole site from the rest of the internetwork. Counted as
+  /// "down_drops"; already-queued packets still drain.
+  void set_down(bool down) { down_ = down; }
+  [[nodiscard]] bool is_down() const { return down_; }
+
+  /// Attaches a Gilbert–Elliott burst-loss model at ingress, alongside
+  /// (not replacing) the Bernoulli loss_rate. Like the Bernoulli draw it
+  /// runs before multicast fan-out, so a burst loss is correlated across
+  /// every downstream receiver. Owns its own RNG stream.
+  void set_burst_loss(const GilbertElliottConfig& ge, std::uint64_t seed) {
+    burst_loss_.emplace(ge, seed);
+  }
+  void clear_burst_loss() { burst_loss_.reset(); }
+
   [[nodiscard]] const sim::CounterSet& counters() const { return counters_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   /// Total packets queued across all egress ports.
@@ -73,6 +91,8 @@ class Router final : public PacketSink {
   std::string name_;
   RouterConfig cfg_;
   sim::Rng loss_rng_;
+  bool down_ = false;
+  std::optional<GilbertElliott> burst_loss_;
 
   std::unordered_map<Addr, PacketSink*> routes_;
   std::unordered_map<Addr, std::vector<PacketSink*>> groups_;

@@ -68,6 +68,14 @@ class Topology final : public GroupControl {
   [[nodiscard]] Router& group_router(std::size_t g) {
     return *group_routers_.at(g);
   }
+  [[nodiscard]] std::size_t group_count() const {
+    return group_routers_.size();
+  }
+
+  /// A receiver's access NIC (fault injection flaps links here).
+  [[nodiscard]] Nic& receiver_nic(std::size_t i) { return *nics_.at(i + 1); }
+  [[nodiscard]] Nic& sender_nic() { return *nics_.at(0); }
+
   [[nodiscard]] const TopologyConfig& config() const { return cfg_; }
 
   // GroupControl: IGMP-style subscription management. Joining grafts the

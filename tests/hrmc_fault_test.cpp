@@ -1,0 +1,194 @@
+// Fault-injection scenarios: receiver crashes mid-transfer under each
+// eviction policy, crash-restart resync, access-link flap, group-router
+// partition and heal, and Gilbert–Elliott burst loss — plus the
+// determinism contract that the injector never perturbs fault-free RNG
+// streams.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+
+namespace hrmc::harness {
+namespace {
+
+Workload small_mem_workload(std::uint64_t bytes = 512 * 1024) {
+  Workload wl;
+  wl.file_bytes = bytes;
+  return wl;
+}
+
+/// Three receivers on a clean LAN; receiver 2 crashes half a second in,
+/// while the transfer is still running. Fast probe-retry settings so the
+/// tests don't wait out the paper's conservative defaults.
+Scenario crash_scenario(proto::EvictionPolicy policy, std::uint64_t seed) {
+  Workload wl = small_mem_workload(2 * 1024 * 1024);
+  Scenario sc = lan_scenario(3, 10e6, 256 << 10, wl, seed);
+  sc.topo.groups[0].loss_rate = 0.0;
+  sc.proto.eviction_policy = policy;
+  sc.proto.max_probe_retries = 5;
+  sc.proto.probe_backoff = 2.0;
+  sc.time_limit = sim::seconds(60);
+  sc.faults.crash(2, sim::milliseconds(500));
+  return sc;
+}
+
+TEST(Fault, CrashUnderEvictCompletesForSurvivors) {
+  Scenario sc = crash_scenario(proto::EvictionPolicy::kEvict, 60);
+  RunResult r = run_transfer(sc);
+  // The dead member is evicted, the window unblocks, and both
+  // survivors get the whole file.
+  EXPECT_TRUE(r.sender_finished);
+  EXPECT_EQ(r.survivor_count, 2);
+  EXPECT_EQ(r.survivors_completed, 2);
+  EXPECT_EQ(r.evicted_count, 1u);
+  EXPECT_TRUE(r.verify_ok);
+  EXPECT_FALSE(r.completed);  // the crashed receiver never finished
+  EXPECT_GT(r.sender.probe_retries, 0u);
+  // The stall is bounded by the probe-retry schedule, not the time
+  // limit: well under the 60 s budget.
+  EXPECT_LT(r.stall_time, sim::seconds(30));
+}
+
+TEST(Fault, CrashUnderStallStallsForever) {
+  Scenario sc = crash_scenario(proto::EvictionPolicy::kStall, 61);
+  sc.time_limit = sim::seconds(30);
+  RunResult r = run_transfer(sc);
+  // Paper-faithful behavior: the window never releases past the dead
+  // member's position, so the sender cannot finish.
+  EXPECT_FALSE(r.sender_finished);
+  EXPECT_EQ(r.evicted_count, 0u);
+  EXPECT_EQ(r.sender.members_evicted, 0u);
+  // The stall consumed essentially the whole run after the crash.
+  EXPECT_GT(r.stall_time, sim::seconds(10));
+}
+
+TEST(Fault, CrashUnderRmcFallbackCompletes) {
+  Scenario sc = crash_scenario(proto::EvictionPolicy::kRmcFallback, 62);
+  RunResult r = run_transfer(sc);
+  // The head releases once every lacking member is dead; the member
+  // stays in the table (late NAKs would earn NAK_ERR, like RMC).
+  EXPECT_TRUE(r.sender_finished);
+  EXPECT_EQ(r.survivors_completed, 2);
+  EXPECT_EQ(r.sender.members_evicted, 0u);
+  EXPECT_GT(r.sender.dead_member_releases, 0u);
+  EXPECT_TRUE(r.verify_ok);
+}
+
+TEST(Fault, CrashRestartRejoinsAndResyncs) {
+  Workload wl = small_mem_workload(2 * 1024 * 1024);
+  Scenario sc = lan_scenario(2, 10e6, 256 << 10, wl, 63);
+  sc.topo.groups[0].loss_rate = 0.0;
+  sc.proto.eviction_policy = proto::EvictionPolicy::kEvict;
+  sc.proto.max_probe_retries = 5;
+  sc.proto.probe_backoff = 2.0;
+  sc.time_limit = sim::seconds(60);
+  sc.faults.crash(1, sim::milliseconds(500))
+      .restart(1, sim::milliseconds(1500));
+  RunResult r = run_transfer(sc);
+  // The restarted receiver re-JOINed with the resync mark and was
+  // re-anchored at the sender's current position; from there it
+  // completes the tail of the stream like a late joiner.
+  EXPECT_GE(r.sender.resync_joins_received, 1u);
+  EXPECT_TRUE(r.sender_finished);
+  EXPECT_EQ(r.survivor_count, 2);
+  EXPECT_EQ(r.survivors_completed, 2);
+}
+
+TEST(Fault, LinkFlapRecovers) {
+  Workload wl = small_mem_workload();
+  Scenario sc = lan_scenario(2, 10e6, 256 << 10, wl, 64);
+  sc.topo.groups[0].loss_rate = 0.0;
+  sc.time_limit = sim::seconds(60);
+  sc.faults.link_down(1, sim::milliseconds(300))
+      .link_up(1, sim::milliseconds(800));
+  RunResult r = run_transfer(sc);
+  // Everything lost during the outage is NAKed and retransmitted.
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verify_ok);
+  EXPECT_FALSE(r.any_stream_error);
+  EXPECT_GT(r.sender.retransmissions, 0u);
+}
+
+TEST(Fault, PartitionHealRecovers) {
+  Workload wl = small_mem_workload();
+  Scenario sc = lan_scenario(2, 10e6, 256 << 10, wl, 65);
+  sc.topo.groups[0].loss_rate = 0.0;
+  sc.time_limit = sim::seconds(60);
+  sc.faults.partition(0, sim::milliseconds(300))
+      .heal(0, sim::seconds(1));
+  RunResult r = run_transfer(sc);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verify_ok);
+  EXPECT_FALSE(r.any_stream_error);
+}
+
+TEST(Fault, GilbertElliottBurstLossRecovers) {
+  Workload wl = small_mem_workload();
+  Scenario sc = lan_scenario(2, 10e6, 128 << 10, wl, 66);
+  sc.topo.groups[0].loss_rate = 0.0;  // all loss comes from the GE model
+  sc.time_limit = sim::seconds(120);
+  net::GilbertElliottConfig ge;
+  ge.p_good_bad = 0.01;
+  ge.p_bad_good = 0.30;
+  ge.loss_bad = 0.8;
+  sc.faults.burst_loss(0, 0, ge);
+  RunResult r = run_transfer(sc);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.verify_ok);
+  EXPECT_GT(r.receivers_total.naks_sent, 0u);
+  EXPECT_GT(r.sender.retransmissions, 0u);
+}
+
+TEST(Fault, GeZeroLossDoesNotPerturb) {
+  // The determinism contract: a plan whose GE model never drops (both
+  // state loss probabilities zero) must leave the run bit-identical to
+  // a plan-free run — the injector and its substreams add no draws to
+  // any pre-existing RNG stream.
+  Workload wl = small_mem_workload();
+  Scenario base = lan_scenario(2, 10e6, 128 << 10, wl, 67);
+  base.topo.groups[0].loss_rate = 0.005;  // exercise the Bernoulli stream
+
+  Scenario with_ge = base;
+  net::GilbertElliottConfig ge;
+  ge.p_good_bad = 0.5;
+  ge.p_bad_good = 0.5;
+  ge.loss_good = 0.0;
+  ge.loss_bad = 0.0;
+  with_ge.faults.burst_loss(0, 0, ge);
+
+  RunResult a = run_transfer(base);
+  RunResult b = run_transfer(with_ge);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.sender.data_packets_sent, b.sender.data_packets_sent);
+  EXPECT_EQ(a.sender.retransmissions, b.sender.retransmissions);
+  EXPECT_EQ(a.receivers_total.naks_sent, b.receivers_total.naks_sent);
+  EXPECT_EQ(a.router_loss_drops, b.router_loss_drops);
+}
+
+TEST(Fault, OutOfRangeTargetRejectedAtArmTime) {
+  // A typo'd index in the plan must be a configuration error, not an
+  // abort from deep inside the event loop mid-run.
+  Workload wl = small_mem_workload(64 * 1024);
+  Scenario sc = lan_scenario(2, 10e6, 128 << 10, wl, 69);
+  sc.faults.crash(99, sim::milliseconds(100));
+  EXPECT_THROW(run_transfer(sc), std::invalid_argument);
+
+  Scenario sc2 = lan_scenario(2, 10e6, 128 << 10, wl, 69);
+  sc2.faults.partition(7, sim::milliseconds(100));
+  EXPECT_THROW(run_transfer(sc2), std::invalid_argument);
+}
+
+TEST(Fault, EmptyPlanMatchesNoPlan) {
+  // An untouched Scenario carries an empty plan; make sure the two
+  // construction paths (no injector vs. none armed) agree by value.
+  Workload wl = small_mem_workload(256 * 1024);
+  Scenario sc = lan_scenario(1, 10e6, 128 << 10, wl, 68);
+  sc.topo.groups[0].loss_rate = 0.01;
+  RunResult a = run_transfer(sc);
+  RunResult b = run_transfer(sc);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.sender.data_packets_sent, b.sender.data_packets_sent);
+  EXPECT_EQ(a.receivers_total.naks_sent, b.receivers_total.naks_sent);
+}
+
+}  // namespace
+}  // namespace hrmc::harness

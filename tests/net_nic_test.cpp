@@ -73,6 +73,116 @@ TEST(Nic, TxFreeReflectsOccupancy) {
   EXPECT_EQ(nic.tx_free(), 8u);
 }
 
+TEST(Nic, TxRingExactFillBoundary) {
+  sim::Scheduler sched;
+  NicConfig cfg;
+  cfg.tx_ring = 4;
+  Nic nic(sched, "n", cfg, 1);
+  CaptureSink up(sched);
+  nic.attach_uplink(&up);
+
+  // Exactly fill: one serializing + tx_ring queued = 5 accepted.
+  for (int i = 0; i < 5; ++i) nic.transmit(make_packet(100));
+  EXPECT_EQ(nic.counters().get("tx_ring_drops"), 0u);
+  EXPECT_EQ(nic.tx_free(), 0u);
+
+  // One more is the first to overflow.
+  nic.transmit(make_packet(100));
+  EXPECT_EQ(nic.counters().get("tx_ring_drops"), 1u);
+  EXPECT_EQ(nic.tx_free(), 0u);  // full stays full, never underflows
+
+  sched.run_until();
+  EXPECT_EQ(up.packets.size(), 5u);
+  EXPECT_EQ(nic.tx_free(), 4u);
+  // Accounting closes: everything offered either went out or dropped.
+  EXPECT_EQ(nic.counters().get("tx_offered"),
+            nic.counters().get("tx_packets") +
+                nic.counters().get("tx_ring_drops"));
+}
+
+TEST(Nic, TxFreeRecoversAsRingDrains) {
+  sim::Scheduler sched;
+  NicConfig cfg;
+  cfg.tx_ring = 2;
+  cfg.link_bps = 10e6;  // 1212+38 bytes = 1 ms per packet
+  Nic nic(sched, "n", cfg, 1);
+  CaptureSink up(sched);
+  nic.attach_uplink(&up);
+
+  for (int i = 0; i < 3; ++i) nic.transmit(make_packet(1212));
+  EXPECT_EQ(nic.tx_free(), 0u);
+  // After the first serialization completes, one ring slot frees
+  // (the second packet moves from the ring into serialization).
+  sched.run_until(sim::microseconds(1500));
+  EXPECT_EQ(nic.tx_free(), 1u);
+  sched.run_until();
+  EXPECT_EQ(nic.tx_free(), 2u);
+  EXPECT_EQ(up.packets.size(), 3u);
+}
+
+TEST(Nic, LinkDownDropsTransmit) {
+  sim::Scheduler sched;
+  Nic nic(sched, "n", NicConfig{}, 1);
+  CaptureSink up(sched);
+  nic.attach_uplink(&up);
+
+  nic.set_link_up(false);
+  for (int i = 0; i < 5; ++i) nic.transmit(make_packet(100));
+  sched.run_until();
+  EXPECT_TRUE(up.packets.empty());
+  EXPECT_EQ(nic.counters().get("link_down_drops"), 5u);
+}
+
+TEST(Nic, LinkDownDropsReceive) {
+  sim::Scheduler sched;
+  Nic nic(sched, "n", NicConfig{}, 1);
+  CaptureSink host(sched);
+  nic.attach_host(&host);
+
+  nic.set_link_up(false);
+  for (int i = 0; i < 5; ++i) nic.deliver(make_packet(100));
+  sched.run_until();
+  EXPECT_TRUE(host.packets.empty());
+  EXPECT_EQ(nic.counters().get("link_down_drops"), 5u);
+}
+
+TEST(Nic, LinkUpResumesTraffic) {
+  sim::Scheduler sched;
+  Nic nic(sched, "n", NicConfig{}, 1);
+  CaptureSink up(sched);
+  nic.attach_uplink(&up);
+
+  nic.set_link_up(false);
+  nic.transmit(make_packet(100));
+  nic.set_link_up(true);
+  nic.transmit(make_packet(100));
+  sched.run_until();
+  EXPECT_EQ(up.packets.size(), 1u);
+  EXPECT_EQ(nic.counters().get("link_down_drops"), 1u);
+}
+
+TEST(Nic, BurstLossDropsAtReceive) {
+  sim::Scheduler sched;
+  Nic nic(sched, "n", NicConfig{}, 1);
+  CaptureSink host(sched);
+  nic.attach_host(&host);
+
+  GilbertElliottConfig ge;
+  ge.p_good_bad = 1.0;  // immediately bad, stays bad
+  ge.p_bad_good = 0.0;
+  ge.loss_bad = 1.0;
+  nic.set_burst_loss(ge, 7);
+  for (int i = 0; i < 10; ++i) nic.deliver(make_packet(10));
+  sched.run_until();
+  EXPECT_TRUE(host.packets.empty());
+  EXPECT_EQ(nic.counters().get("burst_loss_drops"), 10u);
+
+  nic.clear_burst_loss();
+  nic.deliver(make_packet(10));
+  sched.run_until();
+  EXPECT_EQ(host.packets.size(), 1u);
+}
+
 TEST(Nic, RxDelayApplied) {
   sim::Scheduler sched;
   NicConfig cfg;
