@@ -1,0 +1,95 @@
+#include "bench_json.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+namespace hrmc::bench {
+
+namespace {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integers (counts) print exactly; everything else keeps enough
+  // digits to round-trip.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchReport::metric(const std::string& name, const std::string& key,
+                         double value) {
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      e.metrics.emplace_back(key, value);
+      return;
+    }
+  }
+  entries_.push_back({name, {{key, value}}});
+}
+
+std::string BenchReport::to_json() const {
+  std::string out = "{\n  \"suite\": \"" + json_escape(suite_) +
+                    "\",\n  \"schema\": 1,\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out += "    {\"name\": \"" + json_escape(e.name) + "\", \"metrics\": {";
+    for (std::size_t m = 0; m < e.metrics.size(); ++m) {
+      out += "\"" + json_escape(e.metrics[m].first) +
+             "\": " + json_number(e.metrics[m].second);
+      if (m + 1 < e.metrics.size()) out += ", ";
+    }
+    out += "}}";
+    if (i + 1 < entries_.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool BenchReport::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "bench_json: cannot open " << path << " for writing\n";
+    return false;
+  }
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+std::string bench_json_path(const std::string& filename) {
+  if (const char* dir = std::getenv("HRMC_BENCH_JSON_DIR")) {
+    std::string d(dir);
+    if (!d.empty() && d.back() != '/') d.push_back('/');
+    return d + filename;
+  }
+  return filename;
+}
+
+double wall_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace hrmc::bench

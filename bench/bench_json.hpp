@@ -1,0 +1,49 @@
+// BENCH_*.json emitter: the machine-readable side of the bench suite.
+//
+// Every perf claim in the repository from this PR forward is backed by
+// a BENCH_*.json artifact (events/sec, ns/event, clone rates, wall time
+// per figure) so the trajectory is tracked in CI rather than asserted
+// in prose. The format is deliberately small and flat — name → numeric
+// metrics — so the CI gate can be a ten-line stdlib script.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hrmc::bench {
+
+class BenchReport {
+ public:
+  /// `suite` names the producing binary ("core", "fig10", ...).
+  explicit BenchReport(std::string suite) : suite_(std::move(suite)) {}
+
+  /// Appends one metric to entry `name`, creating the entry on first
+  /// use. Entries and metrics render in insertion order.
+  void metric(const std::string& name, const std::string& key, double value);
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`; returns false (and prints to stderr)
+  /// on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string suite_;
+  std::vector<Entry> entries_;
+};
+
+/// Output path for a BENCH_*.json file: $HRMC_BENCH_JSON_DIR/<filename>
+/// when the variable is set, else ./<filename>.
+std::string bench_json_path(const std::string& filename);
+
+/// Seconds elapsed on the wall clock since an arbitrary epoch
+/// (steady_clock); subtract two samples around the measured region.
+double wall_seconds();
+
+}  // namespace hrmc::bench

@@ -2,9 +2,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "bench_json.hpp"
+#include "harness/parallel.hpp"
 #include "harness/scenario.hpp"
 #include "harness/table.hpp"
 
@@ -23,5 +28,41 @@ inline constexpr std::uint64_t kMiB = 1024 * 1024;
 /// Paper's simulated application consumption rate (does not scale with
 /// the network; see DESIGN.md).
 inline constexpr double kSimAppReadBps = 64e6;
+
+/// Sweep driver for the figure binaries: batches a panel's independent
+/// (Scenario, seed) cells through the ParallelRunner — results come
+/// back in input order and each cell is bit-for-bit the run the serial
+/// loop would have produced, so the printed tables are unchanged. On
+/// destruction, records the figure's wall time to BENCH_<suite>.json
+/// when HRMC_BENCH_JSON_DIR is set (the perf-trajectory artifact).
+class Sweep {
+ public:
+  explicit Sweep(std::string suite)
+      : suite_(std::move(suite)), t0_(wall_seconds()) {}
+
+  Sweep(const Sweep&) = delete;
+  Sweep& operator=(const Sweep&) = delete;
+
+  ~Sweep() {
+    if (std::getenv("HRMC_BENCH_JSON_DIR") == nullptr) return;
+    BenchReport report(suite_);
+    report.metric("figure", "wall_s", wall_seconds() - t0_);
+    report.metric("figure", "cells", static_cast<double>(cells_));
+    report.metric("figure", "threads", runner_.threads());
+    report.write_file(bench_json_path("BENCH_" + suite_ + ".json"));
+  }
+
+  [[nodiscard]] std::vector<harness::RunResult> run(
+      const std::vector<harness::Scenario>& cells) {
+    cells_ += cells.size();
+    return runner_.run_all(cells);
+  }
+
+ private:
+  std::string suite_;
+  double t0_;
+  std::size_t cells_ = 0;
+  harness::ParallelRunner runner_;
+};
 
 }  // namespace hrmc::bench

@@ -12,19 +12,27 @@ using namespace hrmc::bench;
 
 namespace {
 
-void panel(const char* title, std::uint64_t file_bytes, bool disk) {
+void panel(Sweep& sweep, const char* title, std::uint64_t file_bytes,
+           bool disk) {
   std::cout << title << '\n';
-  Table t({"buffer", "1 receiver", "2 receivers", "3 receivers"});
+  std::vector<Scenario> cells;
   for (std::size_t buf : buffer_sweep()) {
-    std::vector<std::string> row{buf_label(buf)};
     for (int n = 1; n <= 3; ++n) {
       Workload wl;
       wl.file_bytes = file_bytes;
       wl.disk_source = disk;
       wl.disk_sink = disk;
-      Scenario sc = lan_scenario(n, 10e6, buf, wl,
-                                 kBenchSeed + static_cast<std::uint64_t>(n));
-      RunResult r = run_transfer(sc);
+      cells.push_back(lan_scenario(n, 10e6, buf, wl,
+                                   kBenchSeed + static_cast<std::uint64_t>(n)));
+    }
+  }
+  const std::vector<RunResult> results = sweep.run(cells);
+  Table t({"buffer", "1 receiver", "2 receivers", "3 receivers"});
+  std::size_t i = 0;
+  for (std::size_t buf : buffer_sweep()) {
+    std::vector<std::string> row{buf_label(buf)};
+    for (int n = 1; n <= 3; ++n) {
+      const RunResult& r = results[i++];
       row.push_back(r.completed ? fmt(r.throughput_mbps, 2) : "DNF");
     }
     t.add_row(std::move(row));
@@ -38,9 +46,10 @@ void panel(const char* title, std::uint64_t file_bytes, bool disk) {
 int main() {
   banner("Figure 10: H-RMC throughput on a 10 Mbps network (Mbps)",
          "LAN testbed reproduction; five buffer sizes, 1-3 receivers");
-  panel("(a) memory to memory, 10 MB", 10 * kMiB, false);
-  panel("(b) memory to memory, 40 MB", 40 * kMiB, false);
-  panel("(c) disk to disk, 10 MB", 10 * kMiB, true);
-  panel("(d) disk to disk, 40 MB", 40 * kMiB, true);
+  Sweep sweep("fig10");
+  panel(sweep, "(a) memory to memory, 10 MB", 10 * kMiB, false);
+  panel(sweep, "(b) memory to memory, 40 MB", 40 * kMiB, false);
+  panel(sweep, "(c) disk to disk, 10 MB", 10 * kMiB, true);
+  panel(sweep, "(d) disk to disk, 40 MB", 40 * kMiB, true);
   return 0;
 }

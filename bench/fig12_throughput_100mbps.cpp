@@ -12,19 +12,26 @@ using namespace hrmc::bench;
 
 namespace {
 
-void panel(const char* title, std::uint64_t file_bytes) {
+void panel(Sweep& sweep, const char* title, std::uint64_t file_bytes) {
   std::cout << title << '\n';
-  Table t({"buffer", "1 receiver", "2 receivers", "3 receivers"});
+  std::vector<Scenario> cells;
   for (std::size_t buf : buffer_sweep()) {
-    std::vector<std::string> row{buf_label(buf)};
     for (int n = 1; n <= 3; ++n) {
       Workload wl;
       wl.file_bytes = file_bytes;
       // Experimental memory tests: the application is always ready.
       wl.sink_read_rate_bps = 0.0;
-      Scenario sc = lan_scenario(n, 100e6, buf, wl,
-                                 kBenchSeed + static_cast<std::uint64_t>(n));
-      RunResult r = run_transfer(sc);
+      cells.push_back(lan_scenario(n, 100e6, buf, wl,
+                                   kBenchSeed + static_cast<std::uint64_t>(n)));
+    }
+  }
+  const std::vector<RunResult> results = sweep.run(cells);
+  Table t({"buffer", "1 receiver", "2 receivers", "3 receivers"});
+  std::size_t i = 0;
+  for (std::size_t buf : buffer_sweep()) {
+    std::vector<std::string> row{buf_label(buf)};
+    for (int n = 1; n <= 3; ++n) {
+      const RunResult& r = results[i++];
       row.push_back(r.completed ? fmt(r.throughput_mbps, 2) : "DNF");
     }
     t.add_row(std::move(row));
@@ -38,7 +45,8 @@ void panel(const char* title, std::uint64_t file_bytes) {
 int main() {
   banner("Figure 12: H-RMC throughput on a 100 Mbps network (Mbps)",
          "memory-to-memory; five buffer sizes, 1-3 receivers");
-  panel("(a) memory to memory, 10 MB", 10 * kMiB);
-  panel("(b) memory to memory, 40 MB", 40 * kMiB);
+  Sweep sweep("fig12");
+  panel(sweep, "(a) memory to memory, 10 MB", 10 * kMiB);
+  panel(sweep, "(b) memory to memory, 40 MB", 40 * kMiB);
   return 0;
 }

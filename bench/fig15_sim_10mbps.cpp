@@ -15,23 +15,29 @@ using namespace hrmc::bench;
 
 namespace {
 
-RunResult run_one(int test_case, int receivers, std::size_t buf) {
+Scenario cell(int test_case, int receivers, std::size_t buf) {
   Workload wl;
   wl.file_bytes = 10 * kMiB;
   wl.sink_read_rate_bps = kSimAppReadBps;
   Scenario sc = test_case_scenario(test_case, receivers, 10e6, buf, wl,
                                    kBenchSeed + test_case);
   sc.time_limit = sim::seconds(3600);
-  return run_transfer(sc);
+  return sc;
 }
 
-void panel(int receivers, bool rate_requests) {
+void panel(Sweep& sweep, int receivers, bool rate_requests) {
+  std::vector<Scenario> cells;
+  for (std::size_t buf : buffer_sweep()) {
+    for (int tc = 1; tc <= 5; ++tc) cells.push_back(cell(tc, receivers, buf));
+  }
+  const std::vector<RunResult> results = sweep.run(cells);
   Table t({"buffer", "Test 1 (A)", "Test 2 (B)", "Test 3 (C)",
            "Test 4 (80B/20C)", "Test 5 (20B/80C)"});
+  std::size_t i = 0;
   for (std::size_t buf : buffer_sweep()) {
     std::vector<std::string> row{buf_label(buf)};
     for (int tc = 1; tc <= 5; ++tc) {
-      RunResult r = run_one(tc, receivers, buf);
+      const RunResult& r = results[i++];
       if (rate_requests) {
         row.push_back(std::to_string(r.sender.rate_requests_received));
       } else {
@@ -49,11 +55,12 @@ void panel(int receivers, bool rate_requests) {
 int main() {
   banner("Figure 15: H-RMC on a 10 Mbps network (simulated)",
          "10 MB transfer across the Fig-14 receiver mixes");
+  Sweep sweep("fig15");
   std::cout << "(a) throughput, 10 receivers (Mbps)\n";
-  panel(10, false);
+  panel(sweep, 10, false);
   std::cout << "(b) rate reduce requests, 10 receivers (count)\n";
-  panel(10, true);
+  panel(sweep, 10, true);
   std::cout << "(c) throughput, 100 receivers (Mbps)\n";
-  panel(100, false);
+  panel(sweep, 100, false);
   return 0;
 }

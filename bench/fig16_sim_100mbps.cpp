@@ -12,11 +12,9 @@ using namespace hrmc::bench;
 
 namespace {
 
-void panel(bool rate_requests) {
-  Table t({"buffer", "Test 1 (A)", "Test 2 (B)", "Test 3 (C)",
-           "Test 4 (80B/20C)", "Test 5 (20B/80C)"});
+void panel(Sweep& sweep, bool rate_requests) {
+  std::vector<Scenario> cells;
   for (std::size_t buf : buffer_sweep()) {
-    std::vector<std::string> row{buf_label(buf)};
     for (int tc = 1; tc <= 5; ++tc) {
       Workload wl;
       wl.file_bytes = 10 * kMiB;
@@ -24,7 +22,17 @@ void panel(bool rate_requests) {
       Scenario sc = test_case_scenario(tc, 10, 100e6, buf, wl,
                                        kBenchSeed + tc);
       sc.time_limit = sim::seconds(3600);
-      RunResult r = run_transfer(sc);
+      cells.push_back(std::move(sc));
+    }
+  }
+  const std::vector<RunResult> results = sweep.run(cells);
+  Table t({"buffer", "Test 1 (A)", "Test 2 (B)", "Test 3 (C)",
+           "Test 4 (80B/20C)", "Test 5 (20B/80C)"});
+  std::size_t i = 0;
+  for (std::size_t buf : buffer_sweep()) {
+    std::vector<std::string> row{buf_label(buf)};
+    for (int tc = 1; tc <= 5; ++tc) {
+      const RunResult& r = results[i++];
       if (rate_requests) {
         row.push_back(std::to_string(r.sender.rate_requests_received));
       } else {
@@ -43,9 +51,10 @@ int main() {
   banner("Figure 16: H-RMC on a 100 Mbps network (simulated)",
          "10 MB transfer, 10 receivers, Fig-14 mixes; application reads\n"
          "at the same fixed rate as in the 10 Mbps study");
+  Sweep sweep("fig16");
   std::cout << "(a) throughput (Mbps)\n";
-  panel(false);
+  panel(sweep, false);
   std::cout << "(b) rate reduce requests (count)\n";
-  panel(true);
+  panel(sweep, true);
   return 0;
 }

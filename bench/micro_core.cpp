@@ -1,19 +1,179 @@
 // Microbenchmarks (google-benchmark) for the hot paths of the protocol
-// implementation: header codec, checksum, member-table lookup, NAK list
-// maintenance, sk_buff queues and the event scheduler.
+// implementation — header codec, checksum, member-table lookup, NAK list
+// maintenance, sk_buff queues and the event scheduler — plus the "core
+// workload", a fixed router-fan-out + timer-churn scenario whose
+// events/sec is recorded to BENCH_core.json and gated in CI (the
+// bench-smoke job fails on a >20% regression against the checked-in
+// baseline).
+//
+// Usage:
+//   micro_core                  core workload + all microbenchmarks
+//   micro_core --core-only    core workload only (what CI runs)
+//   micro_core --benchmark_filter=...   forwarded to google-benchmark
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+#include <string_view>
+#include <vector>
+
+#include "bench_json.hpp"
 #include "hrmc/member.hpp"
 #include "hrmc/nak_list.hpp"
 #include "hrmc/wire.hpp"
 #include "kern/checksum.hpp"
 #include "kern/skbuff.hpp"
+#include "net/router.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
 namespace {
 
 using namespace hrmc;
+
+// ---------------------------------------------------------------------
+// Core workload: the two paths that dominate every simulation run.
+//
+// Fan-out: a router duplicating a 1460-byte data stream to N group
+// members (the multicast hot path — one clone per egress). Each sink
+// strips the header exactly like the receive path does.
+//
+// Timer churn: rearming timers in the mod_timer pattern every protocol
+// socket uses — each tick cancels its previously armed event (a
+// tombstone for the scheduler to absorb) and schedules two more.
+// ---------------------------------------------------------------------
+
+constexpr int kFanoutReceivers = 32;
+constexpr int kFanoutPackets = 20000;
+constexpr int kChurners = 128;
+constexpr int kChurnTicks = 5000;  // per churner
+
+class HeaderStripSink final : public net::PacketSink {
+ public:
+  void deliver(kern::SkBuffPtr skb) override {
+    skb->pull(proto::Header::kSize);  // view-only, like the receive path
+    bytes += skb->size();
+    ++packets;
+  }
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct Churner {
+  sim::Scheduler* sched = nullptr;
+  sim::SimTime period = 0;
+  int remaining = 0;
+  sim::EventHandle dummy;
+
+  void tick() {
+    // mod_timer pattern: the previously armed deadline is cancelled
+    // (tombstone) and a new one armed further out; the tick itself
+    // rearms.
+    dummy.cancel();
+    dummy = sched->schedule_after(period * 10, [] {});
+    if (--remaining > 0) {
+      sched->schedule_after(period, [this] { tick(); });
+    }
+  }
+};
+
+struct CoreResult {
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  std::uint64_t packets_delivered = 0;
+  kern::SkBuffStats skb;
+};
+
+CoreResult run_core_workload(bool fanout, bool churn) {
+  sim::Scheduler sched;
+
+  net::RouterConfig cfg;
+  cfg.speed_bps = 1e9;
+  cfg.queue_limit = 4096;
+  net::Router router(sched, "core", cfg, /*loss_seed=*/1);
+  std::vector<HeaderStripSink> sinks(kFanoutReceivers);
+  const net::Addr group = net::make_addr(224, 9, 9, 9);
+  for (auto& s : sinks) router.join_group(group, &s);
+
+  int packets_left = fanout ? kFanoutPackets : 0;
+  std::function<void()> inject = [&] {
+    auto skb = kern::SkBuff::alloc(1460, 64);
+    skb->put(1460);
+    proto::Header h;
+    h.seq = static_cast<kern::Seq>(packets_left) * 1460;
+    h.length = 1460;
+    h.type = proto::PacketType::kData;
+    proto::write_header(*skb, h);
+    skb->daddr = group;
+    router.deliver(std::move(skb));
+    if (--packets_left > 0) sched.schedule_after(sim::microseconds(50), inject);
+  };
+  if (fanout) sched.schedule_at(0, inject);
+
+  std::vector<Churner> churners(kChurners);
+  if (churn) {
+    for (int i = 0; i < kChurners; ++i) {
+      churners[i].sched = &sched;
+      churners[i].period = sim::microseconds(200);
+      churners[i].remaining = kChurnTicks;
+      sched.schedule_at(sim::microseconds(i), [c = &churners[i]] { c->tick(); });
+    }
+  }
+
+  kern::skbuff_stats_reset();
+  const double t0 = bench::wall_seconds();
+  sched.run_until();
+  const double t1 = bench::wall_seconds();
+
+  CoreResult r;
+  r.events = sched.executed();
+  r.wall_s = t1 - t0;
+  r.skb = kern::skbuff_stats();
+  for (const auto& s : sinks) r.packets_delivered += s.packets;
+  return r;
+}
+
+void record(bench::BenchReport& report, const std::string& name,
+            const CoreResult& r) {
+  const double evps = r.wall_s > 0 ? static_cast<double>(r.events) / r.wall_s
+                                   : 0.0;
+  report.metric(name, "events", static_cast<double>(r.events));
+  report.metric(name, "wall_s", r.wall_s);
+  report.metric(name, "events_per_sec", evps);
+  report.metric(name, "ns_per_event",
+                r.events > 0 ? r.wall_s * 1e9 / static_cast<double>(r.events)
+                             : 0.0);
+  report.metric(name, "packets_delivered",
+                static_cast<double>(r.packets_delivered));
+  report.metric(name, "clones", static_cast<double>(r.skb.clones));
+  report.metric(name, "cow_copies", static_cast<double>(r.skb.cow_copies));
+  report.metric(name, "pool_hits", static_cast<double>(r.skb.pool_hits));
+  report.metric(name, "block_allocs", static_cast<double>(r.skb.block_allocs));
+  if (r.packets_delivered > 0) {
+    report.metric(name, "clones_per_packet",
+                  static_cast<double>(r.skb.clones) /
+                      static_cast<double>(r.packets_delivered));
+  }
+  std::cout << name << ": " << r.events << " events in " << r.wall_s
+            << " s  (" << static_cast<std::uint64_t>(evps)
+            << " events/sec; " << r.skb.clones << " clones, "
+            << r.skb.cow_copies << " COW copies)\n";
+}
+
+int run_core_and_report() {
+  bench::BenchReport report("core");
+  record(report, "router_fanout", run_core_workload(true, false));
+  record(report, "timer_churn", run_core_workload(false, true));
+  record(report, "fanout_plus_timer_churn", run_core_workload(true, true));
+  const std::string path = bench::bench_json_path("BENCH_core.json");
+  if (!report.write_file(path)) return 1;
+  std::cout << "wrote " << path << "\n\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// Microbenchmarks
+// ---------------------------------------------------------------------
 
 void BM_HeaderWrite(benchmark::State& state) {
   auto skb = kern::SkBuff::alloc(1460, 64);
@@ -117,6 +277,33 @@ void BM_SkBuffQueueFifo(benchmark::State& state) {
 }
 BENCHMARK(BM_SkBuffQueueFifo);
 
+void BM_SkBuffAllocPooled(benchmark::State& state) {
+  // Steady-state packet allocation: after the first lap every block
+  // comes from the thread's free list.
+  for (auto _ : state) {
+    auto skb = kern::SkBuff::alloc(1460, 64);
+    skb->put(1460);
+    benchmark::DoNotOptimize(skb);
+  }
+}
+BENCHMARK(BM_SkBuffAllocPooled);
+
+void BM_SkBuffCloneFanout(benchmark::State& state) {
+  // The router duplication pattern: one packet cloned to N egresses.
+  const int n = static_cast<int>(state.range(0));
+  auto skb = kern::SkBuff::alloc(1460, 64);
+  skb->put(1460);
+  std::vector<kern::SkBuffPtr> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) out.push_back(skb->clone());
+    benchmark::DoNotOptimize(out.data());
+    out.clear();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * 1460);
+}
+BENCHMARK(BM_SkBuffCloneFanout)->Arg(2)->Arg(8)->Arg(32);
+
 void BM_SchedulerChurn(benchmark::State& state) {
   for (auto _ : state) {
     sim::Scheduler sched;
@@ -130,6 +317,26 @@ void BM_SchedulerChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerChurn);
 
+void BM_SchedulerCancelChurn(benchmark::State& state) {
+  // The mod_timer pattern: most scheduled events are cancelled and
+  // rearmed before they fire. Exercises slot reuse and tombstone
+  // compaction.
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int fired = 0;
+    sim::EventHandle pending;
+    for (int i = 0; i < 1000; ++i) {
+      pending.cancel();
+      pending =
+          sched.schedule_at(sim::microseconds(1000 + i), [&] { ++fired; });
+      sched.schedule_at(sim::microseconds(i), [&] { ++fired; });
+    }
+    sched.run_until();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_SchedulerCancelChurn);
+
 void BM_RngU64(benchmark::State& state) {
   sim::Rng rng(7);
   for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
@@ -138,4 +345,25 @@ BENCHMARK(BM_RngU64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool core_only = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--core-only") {
+      core_only = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const int rc = run_core_and_report();
+  if (rc != 0 || core_only) return rc;
+
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 
 namespace hrmc::baseline {
 
@@ -290,17 +291,20 @@ void MiniTcpReceiver::rx(kern::SkBuffPtr skb) {
     }
   } else {
     // Out of order: store unless a stored segment already covers it.
-    auto it = std::find_if(out_of_order_.begin(), out_of_order_.end(),
-                           [&](const OooSeg& s) {
-                             return seq_after_eq(s.end, end);
-                           });
-    const bool covered =
-        it != out_of_order_.end() && seq_before_eq(it->begin, begin);
+    // The insertion point is found by scanning from the *tail* — within
+    // a loss episode the segments behind the hole still arrive in
+    // order, so new segments nearly always sort after everything
+    // buffered and the backward scan is O(1). Only the last segment
+    // starting at or before `begin` can cover us (any earlier candidate
+    // would itself have been covered on insert and rejected).
+    auto pos = out_of_order_.end();
+    while (pos != out_of_order_.begin() &&
+           seq_after(std::prev(pos)->begin, begin)) {
+      --pos;
+    }
+    const bool covered = pos != out_of_order_.begin() &&
+                         seq_after_eq(std::prev(pos)->end, end);
     if (!covered) {
-      auto pos = std::find_if(out_of_order_.begin(), out_of_order_.end(),
-                              [&](const OooSeg& s) {
-                                return seq_after(s.begin, begin);
-                              });
       ooo_bytes_ += static_cast<std::size_t>(seq_diff(begin, end));
       out_of_order_.insert(pos, OooSeg{begin, end, std::move(skb)});
     }

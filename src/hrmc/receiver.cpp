@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 
 namespace hrmc::proto {
 
@@ -255,9 +256,16 @@ void HrmcReceiver::insert_out_of_order(Seq begin, Seq end,
   // Trim against existing segments, then insert sorted. Overlaps are
   // rare (retransmission races), so trimming to the uncovered prefix is
   // sufficient: any still-missing tail will be NAKed again.
-  auto it = out_of_order_queue_.begin();
-  while (it != out_of_order_queue_.end() && seq_before_eq(it->end, begin)) {
-    ++it;
+  //
+  // Locate the first segment with end > begin by scanning from the
+  // *tail*: packets overwhelmingly arrive in sequence order, so a new
+  // segment almost always sorts after everything already buffered and
+  // the backward scan stops immediately — O(1) in the common case where
+  // a forward scan from begin() is O(queue).
+  auto it = out_of_order_queue_.end();
+  while (it != out_of_order_queue_.begin() &&
+         seq_after(std::prev(it)->end, begin)) {
+    --it;
   }
   if (it != out_of_order_queue_.end()) {
     if (seq_before_eq(it->begin, begin)) {

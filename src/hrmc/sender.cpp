@@ -266,6 +266,10 @@ std::uint64_t HrmcSender::service_retransmissions(std::uint64_t budget) {
 
 void HrmcSender::transmit_record(TxRecord& rec, bool retransmission) {
   const sim::SimTime now = host_.scheduler().now();
+  // The stored payload stays header-free so retransmissions can stamp a
+  // fresh header (tries/rate change per attempt): clone shares the data
+  // block, and write_header()'s push copy-on-writes only this
+  // transmission's copy.
   kern::SkBuffPtr skb = rec.payload->clone();
   Header h;
   h.sport = local_port_;

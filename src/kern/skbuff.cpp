@@ -1,18 +1,221 @@
 #include "kern/skbuff.hpp"
 
+#include <memory>
+#include <new>
+
 namespace hrmc::kern {
 
+namespace {
+
+// Pool size classes. Data traffic allocates MSS (1460) + headroom → the
+// 2048 class; control packets (headers + a few options) land in 256.
+// Requests above the largest class bypass the pool entirely.
+constexpr std::size_t kClassSizes[] = {256, 512, 1024, 2048, 4096};
+constexpr std::uint32_t kNumClasses =
+    static_cast<std::uint32_t>(std::size(kClassSizes));
+constexpr std::uint32_t kUnpooled = 0xffffffffu;
+
+// Cap on cached blocks per class: bounds pool memory at
+// ~(256+...+4096)*512 ≈ 4 MiB per thread while still absorbing the
+// largest queue swings the sweeps produce.
+constexpr std::size_t kMaxCachedPerClass = 512;
+
+std::uint32_t class_for(std::size_t cap) {
+  for (std::uint32_t k = 0; k < kNumClasses; ++k) {
+    if (cap <= kClassSizes[k]) return k;
+  }
+  return kUnpooled;
+}
+
+detail::SkbBlock* raw_block_new(std::size_t byte_cap) {
+  void* mem = ::operator new(sizeof(detail::SkbBlock) + byte_cap);
+  return new (mem) detail::SkbBlock{};
+}
+
+void raw_block_delete(detail::SkbBlock* b) {
+  b->~SkbBlock();
+  ::operator delete(b);
+}
+
+// One pool per thread: simulation cells are single-threaded, so the
+// free lists (and the block refcounts) need no synchronization, and
+// parallel bench cells cannot perturb each other's recycling order.
+struct Pool {
+  detail::SkbBlock* free_head[kNumClasses] = {};
+  std::size_t cached_count[kNumClasses] = {};
+  SkBuffStats stats;
+
+  ~Pool() { trim(); }
+
+  void trim() {
+    for (std::uint32_t k = 0; k < kNumClasses; ++k) {
+      while (free_head[k] != nullptr) {
+        detail::SkbBlock* b = free_head[k];
+        free_head[k] = b->next_free;
+        raw_block_delete(b);
+      }
+      cached_count[k] = 0;
+    }
+  }
+};
+
+thread_local Pool g_pool;
+
+// --- View-node pool ----------------------------------------------------
+// alloc()/clone() create the SkBuff *view* (plus its shared_ptr control
+// block) with allocate_shared through this allocator, so the combined
+// node comes off a thread-local free list instead of the general heap.
+// Every node in a build has the same size (one allocate_shared
+// instantiation), so a handful of 64-byte-granular buckets suffice;
+// oversized requests fall through to operator new. Like the block pool,
+// this is single-threaded by the one-thread-per-cell invariant.
+
+constexpr std::size_t kViewGrain = 64;
+constexpr std::size_t kViewBuckets = 4;  // caches nodes up to 256 bytes
+constexpr std::size_t kMaxCachedViews = 1024;
+
+struct ViewPool {
+  void* head[kViewBuckets] = {};
+  std::size_t count[kViewBuckets] = {};
+
+  ~ViewPool() {
+    for (std::size_t k = 0; k < kViewBuckets; ++k) {
+      while (head[k] != nullptr) {
+        void* p = head[k];
+        head[k] = *static_cast<void**>(p);
+        ::operator delete(p);
+      }
+    }
+  }
+};
+
+thread_local ViewPool g_view_pool;
+
+void* view_node_acquire(std::size_t bytes) {
+  const std::size_t k = (bytes - 1) / kViewGrain;
+  if (k < kViewBuckets) {
+    ViewPool& vp = g_view_pool;
+    if (vp.head[k] != nullptr) {
+      void* p = vp.head[k];
+      vp.head[k] = *static_cast<void**>(p);
+      --vp.count[k];
+      return p;
+    }
+    return ::operator new((k + 1) * kViewGrain);
+  }
+  return ::operator new(bytes);
+}
+
+void view_node_release(void* p, std::size_t bytes) noexcept {
+  const std::size_t k = (bytes - 1) / kViewGrain;
+  ViewPool& vp = g_view_pool;
+  if (k < kViewBuckets && vp.count[k] < kMaxCachedViews) {
+    *static_cast<void**>(p) = vp.head[k];
+    vp.head[k] = p;
+    ++vp.count[k];
+    return;
+  }
+  ::operator delete(p);
+}
+
+template <typename T>
+struct ViewAlloc {
+  using value_type = T;
+  ViewAlloc() = default;
+  template <typename U>
+  ViewAlloc(const ViewAlloc<U>&) {}  // NOLINT: converting, as required
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(view_node_acquire(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    view_node_release(p, n * sizeof(T));
+  }
+  template <typename U>
+  bool operator==(const ViewAlloc<U>&) const {
+    return true;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+SkbBlock* skb_block_acquire(std::size_t cap) {
+  Pool& pool = g_pool;
+  const std::uint32_t k = class_for(cap);
+  SkbBlock* b;
+  if (k != kUnpooled && pool.free_head[k] != nullptr) {
+    b = pool.free_head[k];
+    pool.free_head[k] = b->next_free;
+    --pool.cached_count[k];
+    ++pool.stats.pool_hits;
+  } else {
+    b = raw_block_new(k != kUnpooled ? kClassSizes[k] : cap);
+    ++pool.stats.block_allocs;
+  }
+  b->refs = 1;
+  b->klass = k;
+  // Report the *requested* capacity even when the class rounds up, so
+  // tailroom (and therefore put()'s failure behavior) is identical to a
+  // dedicated allocation — the pool is invisible to protocol code.
+  b->cap = cap;
+  b->next_free = nullptr;
+  return b;
+}
+
+void skb_block_release(SkbBlock* b) {
+  if (--b->refs != 0) return;
+  Pool& pool = g_pool;
+  const std::uint32_t k = b->klass;
+  if (k == kUnpooled || pool.cached_count[k] >= kMaxCachedPerClass) {
+    raw_block_delete(b);
+    return;
+  }
+  b->next_free = pool.free_head[k];
+  pool.free_head[k] = b;
+  ++pool.cached_count[k];
+}
+
+}  // namespace detail
+
+const SkBuffStats& skbuff_stats() { return g_pool.stats; }
+
+void skbuff_stats_reset() { g_pool.stats = SkBuffStats{}; }
+
+std::size_t skbuff_pool_cached() {
+  std::size_t total = 0;
+  for (std::size_t n : g_pool.cached_count) total += n;
+  return total;
+}
+
+void skbuff_pool_trim() { g_pool.trim(); }
+
 SkBuffPtr SkBuff::alloc(std::size_t size, std::size_t headroom) {
-  return SkBuffPtr(new SkBuff(size + headroom, headroom));
+  return std::allocate_shared<SkBuff>(
+      ViewAlloc<SkBuff>{}, Private{},
+      detail::skb_block_acquire(size + headroom), headroom);
 }
 
 SkBuffPtr SkBuff::clone() const {
-  auto copy = SkBuffPtr(new SkBuff(*this));
-  return copy;
+  ++block_->refs;
+  ++g_pool.stats.clones;
+  return std::allocate_shared<SkBuff>(ViewAlloc<SkBuff>{}, Private{}, *this,
+                                      block_);
+}
+
+void SkBuff::unshare() {
+  if (block_->refs == 1) return;
+  detail::SkbBlock* copy = detail::skb_block_acquire(block_->cap);
+  std::memcpy(copy->bytes() + head_, block_->bytes() + head_, len_);
+  --block_->refs;  // cannot hit zero: refs > 1 checked above
+  block_ = copy;
+  ++g_pool.stats.cow_copies;
 }
 
 std::uint8_t* SkBuff::push(std::size_t n) {
   if (n > head_) throw std::logic_error("SkBuff::push: headroom exhausted");
+  unshare();
   head_ -= n;
   len_ += n;
   return data();
@@ -27,6 +230,7 @@ std::uint8_t* SkBuff::pull(std::size_t n) {
 
 std::uint8_t* SkBuff::put(std::size_t n) {
   if (n > tailroom()) throw std::logic_error("SkBuff::put: tailroom exhausted");
+  unshare();
   std::uint8_t* at = data() + len_;
   len_ += n;
   return at;

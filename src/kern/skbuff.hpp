@@ -2,6 +2,22 @@
 // against, mirroring the Linux structure the paper's kernel driver used
 // (headroom for layered header push/pull, addressing metadata, and a
 // byte-accounted FIFO queue type below it).
+//
+// Layout mirrors the kernel split between struct sk_buff (the cheap
+// per-reference view: data/len offsets plus metadata) and the shared
+// data area skb->head points at. clone() is O(1) — it shares the data
+// block exactly like skb_clone() shares skb->head — and any call that
+// can *write* through the buffer (push/put/mutable_bytes) performs the
+// skb_cow() dance first: if the block is shared it is copied before the
+// write. pull()/trim() only move this view's offsets and never copy,
+// matching skb_pull()/skb_trim() on a clone.
+//
+// Data blocks come from a per-thread free-list pool bucketed by size
+// class, so steady-state packet traffic recycles blocks instead of
+// hitting the allocator. Block refcounts are deliberately non-atomic:
+// a block never crosses threads (each simulation cell — scheduler,
+// topology, sockets — lives entirely on one thread; see
+// harness::ParallelRunner).
 #pragma once
 
 #include <cstdint>
@@ -19,48 +35,137 @@ namespace hrmc::kern {
 class SkBuff;
 using SkBuffPtr = std::shared_ptr<SkBuff>;
 
-/// A packet buffer: one contiguous allocation with reserved headroom so
-/// each protocol layer can push its header without copying the payload.
+/// Hot-path counters for this thread's buffer pool. Cheap enough to
+/// keep always-on; the bench harness resets them per workload and
+/// reports clone/COW rates in BENCH_core.json.
+struct SkBuffStats {
+  std::uint64_t block_allocs = 0;  ///< fresh heap allocations
+  std::uint64_t pool_hits = 0;     ///< blocks recycled from the free list
+  std::uint64_t clones = 0;        ///< O(1) clone() calls
+  std::uint64_t cow_copies = 0;    ///< writes that had to unshare a block
+};
+
+/// This thread's pool counters (monotone; see skbuff_stats_reset).
+[[nodiscard]] const SkBuffStats& skbuff_stats();
+void skbuff_stats_reset();
+
+/// Blocks currently cached in this thread's free lists.
+[[nodiscard]] std::size_t skbuff_pool_cached();
+
+/// Frees every cached block (tests; long-lived processes shedding memory).
+void skbuff_pool_trim();
+
+namespace detail {
+
+/// The shared data area (skb->head analogue). Allocated with `cap`
+/// usable bytes immediately after the header; refcounted by the views
+/// that share it and recycled through the per-thread pool when the last
+/// reference drops.
+struct alignas(std::max_align_t) SkbBlock {
+  std::uint32_t refs = 0;
+  std::uint32_t klass = 0;   ///< pool size-class index, or kUnpooled
+  std::size_t cap = 0;       ///< usable bytes, as requested at alloc time
+  SkbBlock* next_free = nullptr;  ///< free-list link while cached
+
+  [[nodiscard]] std::uint8_t* bytes() {
+    return reinterpret_cast<std::uint8_t*>(this + 1);
+  }
+  [[nodiscard]] const std::uint8_t* bytes() const {
+    return reinterpret_cast<const std::uint8_t*>(this + 1);
+  }
+};
+
+SkbBlock* skb_block_acquire(std::size_t cap);
+void skb_block_release(SkbBlock* b);
+
+}  // namespace detail
+
+/// A packet buffer view: offsets into a (possibly shared) data block,
+/// with reserved headroom so each protocol layer can push its header
+/// without copying the payload.
 ///
 ///   [ headroom | data ............ | tailroom ]
 ///              ^data()             ^data()+size()
 class SkBuff {
+  /// Gate for the public tag constructors below: only members can name
+  /// the tag, so only alloc()/clone() can create SkBuffs — but
+  /// std::allocate_shared (which must call a public constructor) works.
+  struct Private {
+    explicit Private() = default;
+  };
+
  public:
   /// Allocates a buffer able to hold `size` payload bytes plus
   /// `headroom` bytes of reserved space in front.
   static SkBuffPtr alloc(std::size_t size, std::size_t headroom = 64);
 
-  /// Deep copy (used at multicast fan-out points in routers).
+  SkBuff(Private, detail::SkbBlock* block, std::size_t headroom)
+      : block_(block), head_(headroom), len_(0) {}
+  /// Clone constructor: shares the block (caller already bumped refs).
+  SkBuff(Private, const SkBuff& o, detail::SkbBlock* shared_block)
+      : saddr(o.saddr), daddr(o.daddr), protocol(o.protocol), ttl(o.ttl),
+        stamp(o.stamp), serial(o.serial), block_(shared_block),
+        head_(o.head_), len_(o.len_) {}
+
+  /// O(1) clone (Linux skb_clone): the returned buffer shares this
+  /// one's data block and copies the view offsets and metadata. Used at
+  /// multicast fan-out points in routers, where it makes duplication
+  /// O(receivers) pointer work instead of O(receivers) memcpys. Writes
+  /// through either buffer copy-on-write first (see unshare()).
   [[nodiscard]] SkBuffPtr clone() const;
 
-  /// Payload view.
-  [[nodiscard]] std::uint8_t* data() { return buf_.data() + head_; }
-  [[nodiscard]] const std::uint8_t* data() const { return buf_.data() + head_; }
+  ~SkBuff() { detail::skb_block_release(block_); }
+  SkBuff(const SkBuff&) = delete;
+  SkBuff& operator=(const SkBuff&) = delete;
+
+  /// Payload view. The non-const overload exists for read access
+  /// through non-const buffers; *writing* through it on a shared buffer
+  /// is forbidden — use mutable_bytes(), push() or put(), which
+  /// unshare first.
+  [[nodiscard]] std::uint8_t* data() { return block_->bytes() + head_; }
+  [[nodiscard]] const std::uint8_t* data() const {
+    return block_->bytes() + head_;
+  }
   [[nodiscard]] std::size_t size() const { return len_; }
   [[nodiscard]] std::span<const std::uint8_t> bytes() const {
     return {data(), len_};
   }
+
+  /// Writable payload view; copies the data block first if shared.
   [[nodiscard]] std::span<std::uint8_t> mutable_bytes() {
+    unshare();
     return {data(), len_};
   }
 
   [[nodiscard]] std::size_t headroom() const { return head_; }
   [[nodiscard]] std::size_t tailroom() const {
-    return buf_.size() - head_ - len_;
+    return block_->cap - head_ - len_;
   }
 
+  /// True if another view currently shares this buffer's data block.
+  [[nodiscard]] bool shared() const { return block_->refs > 1; }
+
+  /// Ensures exclusive ownership of the data block (skb_cow): if it is
+  /// shared, the visible bytes are copied into a fresh block at the
+  /// same offset, preserving headroom and tailroom.
+  void unshare();
+
   /// Prepends `n` bytes (consumes headroom); returns pointer to the new
-  /// front. Throws if insufficient headroom — protocol bugs should be loud.
+  /// front. Copies first if the block is shared — the caller is about
+  /// to write a header into space other clones may also cover. Throws
+  /// if insufficient headroom — protocol bugs should be loud.
   std::uint8_t* push(std::size_t n);
 
   /// Removes `n` bytes from the front (e.g. after parsing a header).
+  /// View-only: never copies, even on a clone (skb_pull semantics), so
+  /// the fan-out receive path stays zero-copy.
   std::uint8_t* pull(std::size_t n);
 
-  /// Extends the payload by `n` bytes at the tail; returns pointer to the
-  /// newly added region.
+  /// Extends the payload by `n` bytes at the tail; returns pointer to
+  /// the newly added region. Copies first if the block is shared.
   std::uint8_t* put(std::size_t n);
 
-  /// Truncates the payload to `n` bytes.
+  /// Truncates the payload to `n` bytes. View-only: never copies.
   void trim(std::size_t n);
 
   // --- Addressing / metadata (mirrors sk_buff fields the driver used) ---
@@ -81,10 +186,7 @@ class SkBuff {
   static constexpr std::size_t kLowerLayerBytes = 38;
 
  private:
-  SkBuff(std::size_t cap, std::size_t headroom)
-      : buf_(cap), head_(headroom), len_(0) {}
-
-  std::vector<std::uint8_t> buf_;
+  detail::SkbBlock* block_;
   std::size_t head_;
   std::size_t len_;
 };
@@ -123,8 +225,10 @@ class SkBuffQueue {
   /// iterator following the erased element.
   iterator erase(iterator it);
 
-  /// Inserts before `it` (the out-of-order queue keeps packets sorted by
-  /// sequence number this way).
+  /// Inserts before `it`. Sorted consumers (the out-of-order queues)
+  /// should locate `it` by scanning from the *tail*: packets
+  /// overwhelmingly arrive in order, so the right insertion point is at
+  /// or near the back, and a tail scan is O(1) in the common case.
   void insert(iterator it, SkBuffPtr skb);
 
  private:

@@ -58,6 +58,9 @@ void Router::deliver(kern::SkBuffPtr skb) {
       return;
     }
     counters_.inc("mcast_forwarded");
+    // Fan-out duplication is O(1) per egress: clone() shares the data
+    // block (skb_clone semantics) and receivers only pull/read, so no
+    // copy ever materializes on the multicast data path.
     const auto& fanout = it->second;
     for (std::size_t i = 0; i + 1 < fanout.size(); ++i) {
       enqueue(fanout[i], skb->clone());
@@ -98,10 +101,13 @@ void Router::service(PacketSink* egress, Port& port) {
   port.queue.pop_front();
   const sim::SimTime service_time = sim::transmission_time(
       static_cast<std::int64_t>(skb->wire_size()), cfg_.speed_bps);
+  // Capturing `port` by reference is safe — unordered_map never moves
+  // its nodes and ports are never erased — and keeps the per-packet
+  // completion off the hash table.
   sched_->schedule_after(service_time,
-                         [this, egress, skb = std::move(skb)]() mutable {
+                         [this, egress, &port, skb = std::move(skb)]() mutable {
                            egress->deliver(std::move(skb));
-                           service(egress, ports_[egress]);
+                           service(egress, port);
                          });
 }
 

@@ -1,38 +1,87 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
-#include <utility>
 
 namespace hrmc::sim {
 
-EventHandle Scheduler::schedule_at(SimTime when, std::function<void()> fn) {
-  if (when < now_) {
-    throw std::logic_error("Scheduler::schedule_at: time " +
-                           format_time(when) + " is in the past (now " +
-                           format_time(now_) + ")");
+namespace detail {
+
+std::uint32_t SchedulerCore::acquire_slot() {
+  if (free_head != kNoSlot) {
+    const std::uint32_t idx = free_head;
+    free_head = slots[idx].next_free;
+    slots[idx].next_free = kNoSlot;
+    return idx;
   }
-  auto alive = std::make_shared<bool>(true);
-  EventHandle handle{std::weak_ptr<bool>(alive)};
-  queue_.push(Entry{when, next_seq_++, std::move(fn), std::move(alive)});
-  return handle;
+  slots.emplace_back();
+  return static_cast<std::uint32_t>(slots.size() - 1);
+}
+
+void SchedulerCore::free_slot(std::uint32_t idx) {
+  slots[idx].next_free = free_head;
+  free_head = idx;
+}
+
+bool SchedulerCore::cancel(std::uint32_t slot_idx, std::uint32_t gen) {
+  Slot& s = slots[slot_idx];
+  if (!s.armed || s.gen != gen) return false;
+  s.armed = false;
+  ++s.gen;       // invalidates the queue entry and any copied handles
+  s.fn.reset();  // release captured resources (packets, refs) now
+  free_slot(slot_idx);
+  ++tombstones;
+  // Lazy sweep: once cancelled entries outnumber live ones the heap is
+  // mostly dead weight — rebuild it without them. Amortized O(1) per
+  // cancel; pop order is unchanged because (when, seq) totally orders
+  // live entries regardless of heap layout.
+  if (tombstones * 2 > heap.size()) compact();
+  return true;
+}
+
+void SchedulerCore::compact() {
+  heap.erase(std::remove_if(heap.begin(), heap.end(),
+                            [this](const Entry& e) { return !live(e); }),
+             heap.end());
+  std::make_heap(heap.begin(), heap.end(), later);
+  tombstones = 0;
+}
+
+}  // namespace detail
+
+void Scheduler::throw_past(SimTime when) const {
+  throw std::logic_error("Scheduler::schedule_at: time " + format_time(when) +
+                         " is in the past (now " + format_time(core_->now) +
+                         ")");
 }
 
 bool Scheduler::step(SimTime horizon) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
+  detail::SchedulerCore& c = *core_;
+  while (!c.heap.empty()) {
+    const detail::SchedulerCore::Entry top = c.heap.front();
     if (top.when > horizon) return false;
-    // Pop by move: priority_queue::top() is const, so steal via const_cast
-    // of the known-mutable container element, then pop. This is the
-    // standard idiom to avoid copying the std::function.
-    Entry entry = std::move(const_cast<Entry&>(top));
-    queue_.pop();
-    if (!*entry.alive) continue;  // cancelled tombstone
-    assert(entry.when >= now_);
-    now_ = entry.when;
-    *entry.alive = false;
-    ++executed_;
-    entry.fn();
+    std::pop_heap(c.heap.begin(), c.heap.end(),
+                  detail::SchedulerCore::later);
+    c.heap.pop_back();
+    if (!c.live(top)) {  // cancelled tombstone
+      assert(c.tombstones > 0);
+      --c.tombstones;
+      continue;
+    }
+    assert(top.when >= c.now);
+    c.now = top.when;
+    detail::SchedulerCore::Slot& s = c.slots[top.slot];
+    // Retire the slot *before* invoking: a cancel() from inside the
+    // callback (or on a stale handle) sees a bumped generation and
+    // no-ops; the slot is kept off the free list until the callback —
+    // which may itself schedule events — has finished running out of it.
+    s.armed = false;
+    ++s.gen;
+    ++c.executed;
+    s.fn();
+    s.fn.reset();
+    c.free_slot(top.slot);
     return true;
   }
   return false;
@@ -41,10 +90,10 @@ bool Scheduler::step(SimTime horizon) {
 std::uint64_t Scheduler::run_until(SimTime horizon) {
   std::uint64_t n = 0;
   while (step(horizon)) ++n;
-  if (horizon != kTimeInfinity && now_ < horizon) {
+  if (horizon != kTimeInfinity && core_->now < horizon) {
     // Anything left in the queue lies beyond the horizon; idle time
     // passes up to it.
-    now_ = horizon;
+    core_->now = horizon;
   }
   return n;
 }

@@ -9,12 +9,26 @@
 // equal timestamps fire in the order they were scheduled (FIFO tie-break
 // via a monotone sequence number). This makes every run a pure function
 // of (scenario, seed).
+//
+// Storage: callbacks live in a slab of recycled slots (a deque, so slots
+// never move), and the priority queue holds 24-byte POD entries that
+// reference slots by (index, generation). Cancellation bumps the slot's
+// generation — the queue entry becomes a tombstone that is skipped when
+// popped, or swept early by lazy compaction once tombstones exceed half
+// the queue. In steady state schedule_after() allocates nothing: slots
+// are reused, the heap vector's capacity is reused, and callbacks whose
+// captures fit 64 bytes are stored inline in the slot (larger ones fall
+// back to the heap).
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -23,44 +37,214 @@ namespace hrmc::sim {
 
 class Scheduler;
 
+namespace detail {
+
+/// Type-erased move-constructed callable with inline storage sized for
+/// the simulator's event lambdas (a couple of pointers plus an
+/// SkBuffPtr). Unlike std::function it is neither copyable nor movable
+/// — it is constructed in a slab slot, invoked there, and destroyed
+/// there — which is exactly what lets it skip the allocation
+/// std::function would do for captures beyond ~16 bytes.
+class EventFn {
+ public:
+  EventFn() = default;
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    reset();
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(inline_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      destroy_ = [](void* p) { delete static_cast<Fn*>(p); };
+    }
+  }
+
+  void reset() {
+    if (invoke_ == nullptr) return;
+    destroy_(target());
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+    heap_ = nullptr;
+  }
+
+  void operator()() { invoke_(target()); }
+
+  [[nodiscard]] bool has_value() const { return invoke_ != nullptr; }
+
+ private:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  void* target() { return heap_ != nullptr ? heap_ : inline_; }
+
+  alignas(std::max_align_t) unsigned char inline_[kInlineBytes];
+  void* heap_ = nullptr;  ///< set when the callable exceeds inline_
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+/// Scheduler internals shared with EventHandles so a handle outliving
+/// its Scheduler degrades to a no-op instead of dangling. One core per
+/// *scheduler*, not per event, kept alive by an intrusive refcount
+/// (the Scheduler plus every live handle). The count is deliberately
+/// non-atomic: a simulation cell is single-threaded by construction —
+/// the same invariant the kern::SkBuff block pool relies on — and
+/// handles never cross cells, so the atomic RMWs a shared_ptr would
+/// issue per handle copy/cancel are pure overhead on this hot path.
+struct SchedulerCore {
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 0;  ///< bumped on fire/cancel; stale entries skip
+    std::uint32_t next_free = kNoSlot;
+    bool armed = false;  ///< an un-fired, un-cancelled queue entry exists
+  };
+
+  /// Heap entry: plain data, 24 bytes; the callable stays in its slot.
+  struct Entry {
+    SimTime when = 0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break for equal timestamps
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+  };
+
+  std::deque<Slot> slots;  // deque: growth never moves existing slots
+  std::uint32_t free_head = kNoSlot;
+  std::vector<Entry> heap;  // min-heap by (when, seq) via std::*_heap
+  std::size_t tombstones = 0;
+  SimTime now = 0;
+  std::uint64_t next_seq = 0;
+  std::uint64_t executed = 0;
+  std::uint32_t refs = 1;  ///< owning Scheduler + live EventHandles
+  bool dead = false;       ///< the owning Scheduler was destroyed
+
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void free_slot(std::uint32_t idx);
+
+  [[nodiscard]] bool live(const Entry& e) const {
+    const Slot& s = slots[e.slot];
+    return s.armed && s.gen == e.gen;
+  }
+
+  bool cancel(std::uint32_t slot, std::uint32_t gen);
+
+  /// Removes every tombstone from the heap and re-heapifies. O(n);
+  /// amortized O(1) per cancel since it only runs after n/2 of them.
+  void compact();
+};
+
+inline void core_ref(SchedulerCore* c) {
+  if (c != nullptr) ++c->refs;
+}
+
+inline void core_unref(SchedulerCore* c) {
+  if (c != nullptr && --c->refs == 0) delete c;
+}
+
+}  // namespace detail
+
 /// Cancellation handle for a scheduled event. Handles are cheap to copy;
 /// cancelling an already-fired or already-cancelled event is a no-op.
 class EventHandle {
  public:
   EventHandle() = default;
+  EventHandle(const EventHandle& other)
+      : core_(other.core_), slot_(other.slot_), gen_(other.gen_) {
+    detail::core_ref(core_);
+  }
+  EventHandle(EventHandle&& other) noexcept
+      : core_(other.core_), slot_(other.slot_), gen_(other.gen_) {
+    other.core_ = nullptr;
+  }
+  EventHandle& operator=(const EventHandle& other) {
+    detail::core_ref(other.core_);
+    detail::core_unref(core_);
+    core_ = other.core_;
+    slot_ = other.slot_;
+    gen_ = other.gen_;
+    return *this;
+  }
+  EventHandle& operator=(EventHandle&& other) noexcept {
+    std::swap(core_, other.core_);
+    slot_ = other.slot_;
+    gen_ = other.gen_;
+    return *this;
+  }
+  ~EventHandle() { detail::core_unref(core_); }
 
-  /// Prevents the event from firing. Safe to call at any time.
+  /// Prevents the event from firing (and releases its captures
+  /// immediately). Safe to call at any time, including after the
+  /// scheduler itself is gone.
   void cancel() {
-    if (auto p = alive_.lock()) *p = false;
+    if (core_ != nullptr && !core_->dead) core_->cancel(slot_, gen_);
   }
 
   /// True if the event is still queued and will fire.
   [[nodiscard]] bool pending() const {
-    auto p = alive_.lock();
-    return p && *p;
+    return core_ != nullptr && !core_->dead && core_->slots[slot_].armed &&
+           core_->slots[slot_].gen == gen_;
   }
 
  private:
   friend class Scheduler;
-  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::weak_ptr<bool> alive_;
+  EventHandle(detail::SchedulerCore* core, std::uint32_t slot,
+              std::uint32_t gen)
+      : core_(core), slot_(slot), gen_(gen) {
+    detail::core_ref(core_);
+  }
+
+  detail::SchedulerCore* core_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Scheduler {
  public:
-  Scheduler() = default;
+  Scheduler() : core_(new detail::SchedulerCore()) {}
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler() {
+    core_->dead = true;  // outstanding handles turn inert
+    detail::core_unref(core_);
+  }
 
   /// Current virtual time.
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const { return core_->now; }
 
   /// Schedules `fn` to run at absolute time `when` (must be >= now()).
-  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  /// Accepts any callable; in steady state this allocates nothing (see
+  /// file comment).
+  template <typename F>
+  EventHandle schedule_at(SimTime when, F&& fn) {
+    detail::SchedulerCore& c = *core_;
+    if (when < c.now) throw_past(when);
+    const std::uint32_t slot = c.acquire_slot();
+    detail::SchedulerCore::Slot& s = c.slots[slot];
+    s.fn.emplace(std::forward<F>(fn));
+    s.armed = true;
+    c.heap.push_back({when, c.next_seq++, slot, s.gen});
+    std::push_heap(c.heap.begin(), c.heap.end(), detail::SchedulerCore::later);
+    return EventHandle{core_, slot, s.gen};
+  }
 
   /// Schedules `fn` to run `delay` after the current time.
-  EventHandle schedule_after(SimTime delay, std::function<void()> fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  EventHandle schedule_after(SimTime delay, F&& fn) {
+    return schedule_at(core_->now + delay, std::forward<F>(fn));
   }
 
   /// Runs events until the queue is empty or `horizon` is passed.
@@ -76,30 +260,22 @@ class Scheduler {
   /// the next event lies beyond `horizon` (time does not advance then).
   bool step(SimTime horizon = kTimeInfinity);
 
-  /// Number of events currently queued (including cancelled tombstones).
-  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  /// Number of *live* (non-cancelled) events currently queued.
+  [[nodiscard]] std::size_t queued() const {
+    return core_->heap.size() - core_->tombstones;
+  }
+
+  /// Cancelled entries still occupying the queue, awaiting pop or
+  /// compaction. Observability only; they never fire.
+  [[nodiscard]] std::size_t tombstones() const { return core_->tombstones; }
 
   /// Total events executed since construction.
-  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t executed() const { return core_->executed; }
 
  private:
-  struct Entry {
-    SimTime when = 0;
-    std::uint64_t seq = 0;  // FIFO tie-break for equal timestamps
-    std::function<void()> fn;
-    std::shared_ptr<bool> alive;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  [[noreturn]] void throw_past(SimTime when) const;
 
-  SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  detail::SchedulerCore* core_;
 };
 
 }  // namespace hrmc::sim

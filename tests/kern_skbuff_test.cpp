@@ -59,14 +59,133 @@ TEST(SkBuff, TrimShrinks) {
   EXPECT_THROW(skb->trim(9), std::logic_error);
 }
 
-TEST(SkBuff, CloneIsDeep) {
+TEST(SkBuff, CloneSharesUntilWritten) {
   auto skb = SkBuff::alloc(10);
   skb->put(4)[0] = 7;
   skb->saddr = 0x0a000001;
   auto copy = skb->clone();
-  copy->data()[0] = 99;
-  EXPECT_EQ(skb->data()[0], 7);
+  EXPECT_TRUE(skb->shared());
+  EXPECT_TRUE(copy->shared());
+  EXPECT_EQ(copy->data(), skb->data());  // same block: O(1) clone
   EXPECT_EQ(copy->saddr, 0x0a000001u);
+  // First write through either view copies; the other is untouched.
+  copy->mutable_bytes()[0] = 99;
+  EXPECT_FALSE(copy->shared());
+  EXPECT_FALSE(skb->shared());
+  EXPECT_EQ(skb->data()[0], 7);
+  EXPECT_EQ(copy->data()[0], 99);
+}
+
+TEST(SkBuff, CloneThenMutateOriginalLeavesCloneIntact) {
+  auto skb = SkBuff::alloc(16);
+  auto* p = skb->put(4);
+  p[0] = 1; p[1] = 2; p[2] = 3; p[3] = 4;
+  auto copy = skb->clone();
+  skb->mutable_bytes()[2] = 77;  // COW triggers on the *original* too
+  EXPECT_EQ(copy->data()[2], 3);
+  EXPECT_EQ(skb->data()[2], 77);
+}
+
+TEST(SkBuff, HeadroomPushAfterCloneIsIsolated) {
+  auto skb = SkBuff::alloc(10, 8);
+  auto* p = skb->put(3);
+  p[0] = 10; p[1] = 11; p[2] = 12;
+  auto copy = skb->clone();
+  // Pushing a header on the clone must not scribble on headroom bytes
+  // the original's future push would also cover.
+  std::uint8_t* hdr = copy->push(4);
+  hdr[0] = 0xAA; hdr[1] = 0xBB; hdr[2] = 0xCC; hdr[3] = 0xDD;
+  EXPECT_EQ(copy->size(), 7u);
+  EXPECT_EQ(copy->headroom(), 4u);
+  std::uint8_t* ohdr = skb->push(4);
+  ohdr[0] = 1; ohdr[1] = 2; ohdr[2] = 3; ohdr[3] = 4;
+  EXPECT_EQ(copy->data()[0], 0xAA);
+  EXPECT_EQ(skb->data()[0], 1);
+  // Payload bytes behind both headers survived the copy.
+  EXPECT_EQ(copy->data()[4], 10);
+  EXPECT_EQ(skb->data()[4], 10);
+}
+
+TEST(SkBuff, PullAndTrimAreViewOnlyOnClones) {
+  skbuff_stats_reset();
+  auto skb = SkBuff::alloc(100);
+  skb->put(50);
+  auto copy = skb->clone();
+  copy->pull(10);  // skb_pull on a clone: offsets move, no copy
+  copy->trim(20);
+  EXPECT_EQ(skbuff_stats().cow_copies, 0u);
+  EXPECT_TRUE(copy->shared());
+  EXPECT_EQ(copy->size(), 20u);
+  EXPECT_EQ(skb->size(), 50u);  // original view untouched
+}
+
+TEST(SkBuff, PutAfterCloneCopiesBeforeExtending) {
+  auto skb = SkBuff::alloc(20);
+  skb->put(4)[0] = 5;
+  auto copy = skb->clone();
+  std::uint8_t* tail = copy->put(4);
+  tail[0] = 9;
+  EXPECT_FALSE(copy->shared());
+  EXPECT_EQ(copy->size(), 8u);
+  EXPECT_EQ(skb->size(), 4u);
+  EXPECT_EQ(copy->data()[0], 5);  // prefix survived the COW copy
+}
+
+TEST(SkBuff, PoolRecyclingDoesNotLeakMetadataOrBytes) {
+  skbuff_pool_trim();
+  skbuff_stats_reset();
+  const std::uint8_t* old_block;
+  {
+    auto skb = SkBuff::alloc(64, 16);
+    skb->put(8);
+    skb->serial = 0xdeadbeef;
+    skb->stamp = 12345;
+    skb->saddr = 0x0a000001;
+    skb->ttl = 3;
+    old_block = skb->data() - skb->headroom();
+  }
+  // The block goes back to the pool and the next same-class alloc
+  // recycles it — with pristine view state and metadata.
+  auto fresh = SkBuff::alloc(64, 16);
+  EXPECT_EQ(skbuff_stats().pool_hits, 1u);
+  EXPECT_EQ(fresh->data() - fresh->headroom(), old_block);
+  EXPECT_EQ(fresh->size(), 0u);
+  EXPECT_EQ(fresh->headroom(), 16u);
+  EXPECT_EQ(fresh->serial, 0u);
+  EXPECT_EQ(fresh->stamp, 0);
+  EXPECT_EQ(fresh->saddr, 0u);
+  EXPECT_EQ(fresh->ttl, 64);
+}
+
+TEST(SkBuff, PoolClassRoundingIsInvisible) {
+  // A 100-byte request is served from a larger class, but tailroom must
+  // behave exactly as if 100 bytes had been allocated.
+  auto skb = SkBuff::alloc(90, 10);
+  EXPECT_EQ(skb->tailroom(), 90u);
+  skb->put(90);
+  EXPECT_EQ(skb->tailroom(), 0u);
+  EXPECT_THROW(skb->put(1), std::logic_error);
+}
+
+TEST(SkBuff, OversizeAllocationsBypassThePool) {
+  skbuff_pool_trim();
+  skbuff_stats_reset();
+  { auto big = SkBuff::alloc(64 * 1024); big->put(100); }
+  EXPECT_EQ(skbuff_pool_cached(), 0u);  // not cached on release
+  auto again = SkBuff::alloc(64 * 1024);
+  EXPECT_EQ(skbuff_stats().pool_hits, 0u);
+  EXPECT_EQ(skbuff_stats().block_allocs, 2u);
+}
+
+TEST(SkBuff, SharedBlockReleasesOnlyWhenLastViewDies) {
+  skbuff_pool_trim();
+  auto skb = SkBuff::alloc(32);
+  skb->put(4);
+  auto copy = skb->clone();
+  skb.reset();
+  EXPECT_EQ(skbuff_pool_cached(), 0u);  // copy still holds the block
+  copy.reset();
+  EXPECT_EQ(skbuff_pool_cached(), 1u);
 }
 
 TEST(SkBuff, WireSizeAddsFraming) {

@@ -103,9 +103,11 @@ TEST(Router, MulticastDuplicatesToAllGroupMembers) {
   ASSERT_EQ(a.packets.size(), 1u);
   ASSERT_EQ(b.packets.size(), 1u);
   ASSERT_EQ(c.packets.size(), 1u);
-  // Copies are independent buffers.
-  a.packets[0]->data()[0] = 7;
+  // Fan-out clones share one data block until written; a write through
+  // one copy must not be visible through the others (copy-on-write).
+  a.packets[0]->mutable_bytes()[0] = 7;
   EXPECT_EQ(b.packets[0]->data()[0], 42);
+  EXPECT_EQ(c.packets[0]->data()[0], 42);
 }
 
 TEST(Router, MulticastWithoutMembersDrops) {

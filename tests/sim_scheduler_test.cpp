@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 namespace hrmc::sim {
@@ -114,6 +116,119 @@ TEST(Scheduler, ExecutedCountsOnlyFiredEvents) {
   h.cancel();
   s.run_until();
   EXPECT_EQ(s.executed(), 1u);
+}
+
+TEST(Scheduler, QueuedReportsLiveEventsNotTombstones) {
+  Scheduler s;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(s.schedule_at(milliseconds(i + 1), [] {}));
+  }
+  EXPECT_EQ(s.queued(), 8u);
+  EXPECT_EQ(s.tombstones(), 0u);
+  // Cancel three: queued() must drop immediately even though the heap
+  // entries linger as tombstones until compaction.
+  handles[1].cancel();
+  handles[3].cancel();
+  handles[5].cancel();
+  EXPECT_EQ(s.queued(), 5u);
+  s.run_until();
+  EXPECT_EQ(s.queued(), 0u);
+  EXPECT_EQ(s.tombstones(), 0u);
+  EXPECT_EQ(s.executed(), 5u);
+}
+
+TEST(Scheduler, CancellationHeavyWorkloadCompactsAndStaysOrdered) {
+  // Regression test for the slab scheduler: schedule a large batch,
+  // cancel most of it, and check that (a) lazy compaction keeps the
+  // tombstone count bounded by the live heap size, and (b) the
+  // survivors still fire in exact time order.
+  Scheduler s;
+  constexpr int kEvents = 2000;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  for (int i = 0; i < kEvents; ++i) {
+    handles.push_back(
+        s.schedule_at(milliseconds(i + 1), [&fired, i] { fired.push_back(i); }));
+  }
+  // Cancel 90% (everything not divisible by 10).
+  for (int i = 0; i < kEvents; ++i) {
+    if (i % 10 != 0) handles[i].cancel();
+  }
+  // Lazy compaction invariant: cancelled entries never exceed half the
+  // heap, so the heap holds at most 2x the live events.
+  EXPECT_EQ(s.queued(), static_cast<std::size_t>(kEvents / 10));
+  EXPECT_LE(s.tombstones(), s.queued() + 1);
+  s.run_until();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(kEvents / 10));
+  for (std::size_t j = 0; j < fired.size(); ++j) {
+    EXPECT_EQ(fired[j], static_cast<int>(j) * 10);
+  }
+  EXPECT_EQ(s.tombstones(), 0u);
+}
+
+TEST(Scheduler, FifoTieBreakSurvivesSlotReuse) {
+  // Slots freed by cancellation are recycled by later schedules. The
+  // FIFO tie-break at equal timestamps must follow scheduling order
+  // (the monotone sequence number), not slot index or slab layout.
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 5; ++i) {
+    doomed.push_back(s.schedule_at(milliseconds(10), [] {}));
+  }
+  s.schedule_at(milliseconds(10), [&] { order.push_back(0); });
+  for (auto& h : doomed) h.cancel();  // frees low-index slots
+  for (int i = 1; i <= 5; ++i) {
+    // These reuse the freed slots (LIFO free list -> descending slot
+    // indices) yet must fire after the survivor above and in this order.
+    s.schedule_at(milliseconds(10), [&, i] { order.push_back(i); });
+  }
+  s.run_until();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Scheduler, CancelInsideCallbackOfSameTimestampBatch) {
+  // An event may cancel a later event that shares its timestamp; the
+  // tombstone is then popped (and skipped) in the same drain pass.
+  Scheduler s;
+  std::vector<int> order;
+  EventHandle victim;
+  s.schedule_at(milliseconds(1), [&] {
+    order.push_back(1);
+    victim.cancel();
+  });
+  victim = s.schedule_at(milliseconds(1), [&] { order.push_back(2); });
+  s.schedule_at(milliseconds(1), [&] { order.push_back(3); });
+  s.run_until();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Scheduler, LargeCapturesUseHeapFallbackIntact) {
+  // EventFn stores callables up to 64 bytes inline; bigger captures go
+  // through the heap fallback. Both paths must run and destroy cleanly.
+  Scheduler s;
+  std::array<std::uint64_t, 16> big{};  // 128 bytes, forces heap path
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i * 3 + 1;
+  std::uint64_t sum = 0;
+  s.schedule_at(milliseconds(1), [big, &sum] {
+    for (std::uint64_t v : big) sum += v;
+  });
+  s.run_until();
+  std::uint64_t want = 0;
+  for (std::size_t i = 0; i < big.size(); ++i) want += i * 3 + 1;
+  EXPECT_EQ(sum, want);
+}
+
+TEST(Scheduler, HandleOutlivingSchedulerIsInert) {
+  EventHandle h;
+  {
+    Scheduler s;
+    h = s.schedule_at(milliseconds(1), [] {});
+    EXPECT_TRUE(h.pending());
+  }
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash: core is gone, weak_ptr lock fails
 }
 
 TEST(SimTime, ConversionsRoundTrip) {

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_*.json report against a checked-in baseline.
+
+Usage:
+    check_bench.py CURRENT.json BASELINE.json [--max-regress 0.20]
+
+For every entry/metric pair present in the baseline, the current report
+must reach at least (1 - max_regress) * baseline value. Metrics in the
+current report that the baseline does not mention are ignored, so the
+baseline only needs to pin the metrics worth gating (events_per_sec).
+Exits non-zero, listing every violation, if any metric regresses.
+Python stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def entry_map(report):
+    return {e["name"]: e.get("metrics", {}) for e in report.get("entries", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--max-regress", type=float, default=0.20,
+                    help="allowed fractional shortfall vs baseline")
+    args = ap.parse_args()
+
+    current = entry_map(load(args.current))
+    baseline = entry_map(load(args.baseline))
+
+    failures = []
+    for name, metrics in baseline.items():
+        if name not in current:
+            failures.append(f"{name}: missing from {args.current}")
+            continue
+        for key, want in metrics.items():
+            have = current[name].get(key)
+            if have is None:
+                failures.append(f"{name}.{key}: missing from {args.current}")
+                continue
+            floor = want * (1.0 - args.max_regress)
+            status = "OK" if have >= floor else "FAIL"
+            print(f"{status:4} {name}.{key}: {have:.0f} "
+                  f"(baseline {want:.0f}, floor {floor:.0f})")
+            if have < floor:
+                failures.append(
+                    f"{name}.{key}: {have:.0f} < floor {floor:.0f} "
+                    f"({args.max_regress:.0%} under baseline {want:.0f})")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
