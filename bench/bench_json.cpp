@@ -37,15 +37,22 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+BenchReport::Entry& BenchReport::entry(const std::string& name) {
+  for (Entry& e : entries_) {
+    if (e.name == name) return e;
+  }
+  entries_.push_back({name, {}, {}});
+  return entries_.back();
+}
+
 void BenchReport::metric(const std::string& name, const std::string& key,
                          double value) {
-  for (Entry& e : entries_) {
-    if (e.name == name) {
-      e.metrics.emplace_back(key, value);
-      return;
-    }
-  }
-  entries_.push_back({name, {{key, value}}});
+  entry(name).metrics.emplace_back(key, value);
+}
+
+void BenchReport::series(const std::string& name, const std::string& key,
+                         std::vector<double> values) {
+  entry(name).series.emplace_back(key, std::move(values));
 }
 
 std::string BenchReport::to_json() const {
@@ -59,7 +66,22 @@ std::string BenchReport::to_json() const {
              "\": " + json_number(e.metrics[m].second);
       if (m + 1 < e.metrics.size()) out += ", ";
     }
-    out += "}}";
+    out += "}";
+    if (!e.series.empty()) {
+      out += ", \"series\": {";
+      for (std::size_t s = 0; s < e.series.size(); ++s) {
+        out += "\"" + json_escape(e.series[s].first) + "\": [";
+        const std::vector<double>& vals = e.series[s].second;
+        for (std::size_t v = 0; v < vals.size(); ++v) {
+          out += json_number(vals[v]);
+          if (v + 1 < vals.size()) out += ", ";
+        }
+        out += "]";
+        if (s + 1 < e.series.size()) out += ", ";
+      }
+      out += "}";
+    }
+    out += "}";
     if (i + 1 < entries_.size()) out += ",";
     out += "\n";
   }

@@ -23,6 +23,12 @@ class BenchReport {
   /// use. Entries and metrics render in insertion order.
   void metric(const std::string& name, const std::string& key, double value);
 
+  /// Attaches a time-series curve to entry `name` (rendered as a
+  /// `"series"` object next to `"metrics"`). The gate script only reads
+  /// `"metrics"`, so series are plot fodder, never gated.
+  void series(const std::string& name, const std::string& key,
+              std::vector<double> values);
+
   [[nodiscard]] std::string to_json() const;
 
   /// Writes to_json() to `path`; returns false (and prints to stderr)
@@ -33,7 +39,9 @@ class BenchReport {
   struct Entry {
     std::string name;
     std::vector<std::pair<std::string, double>> metrics;
+    std::vector<std::pair<std::string, std::vector<double>>> series;
   };
+  Entry& entry(const std::string& name);
   std::string suite_;
   std::vector<Entry> entries_;
 };

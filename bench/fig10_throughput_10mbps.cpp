@@ -5,6 +5,7 @@
 // Expected shape: throughput rises with buffer size and is flat from
 // ~512K; receiver count barely matters; disk tests track memory tests.
 #include "bench_util.hpp"
+#include "trace/verify.hpp"
 
 using namespace hrmc;
 using namespace hrmc::harness;
@@ -51,5 +52,26 @@ int main() {
   panel(sweep, "(b) memory to memory, 40 MB", 40 * kMiB, false);
   panel(sweep, "(c) disk to disk, 10 MB", 10 * kMiB, true);
   panel(sweep, "(d) disk to disk, 40 MB", 40 * kMiB, true);
+
+  // Traced reference run over panel (a)'s 256K / 3-receiver cell:
+  // emits the per-interval curves into BENCH_fig10.json and replays the
+  // full event trace through the invariant checker. A violation here is
+  // a protocol bug, not a perf regression — fail loudly.
+  Workload wl;
+  wl.file_bytes = 10 * kMiB;
+  RunResult traced =
+      traced_cell(sweep, "traced_mem_256K_3rcv",
+                  lan_scenario(3, 10e6, 256 * 1024, wl, kBenchSeed + 3));
+  const trace::VerifyResult v = trace::verify(traced.trace_records);
+  std::cout << "trace verify: " << traced.trace_records.size()
+            << " records, " << v.releases_checked << " releases / "
+            << v.naks_checked << " naks / " << v.sends_checked
+            << " sends checked, " << v.violation_count << " violations\n";
+  if (!v.ok) {
+    for (const std::string& s : v.violations) {
+      std::cerr << "trace violation: " << s << '\n';
+    }
+    return 1;
+  }
   return 0;
 }

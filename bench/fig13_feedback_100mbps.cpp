@@ -13,6 +13,14 @@ using namespace hrmc::bench;
 
 namespace {
 
+Scenario cell(std::uint64_t file_bytes, std::size_t buf, int n) {
+  Workload wl;
+  wl.file_bytes = file_bytes;
+  wl.sink_read_rate_bps = 0.0;  // always-ready application
+  return lan_scenario(n, 100e6, buf, wl,
+                      kBenchSeed + static_cast<std::uint64_t>(n));
+}
+
 void panel(const char* title, std::uint64_t file_bytes) {
   std::cout << title << '\n';
   Table t({"buffer", "NAKs (1 rcvr)", "NAKs (2)", "NAKs (3)",
@@ -21,12 +29,7 @@ void panel(const char* title, std::uint64_t file_bytes) {
     std::vector<std::string> row{buf_label(buf)};
     std::uint64_t drops_one = 0;
     for (int n = 1; n <= 3; ++n) {
-      Workload wl;
-      wl.file_bytes = file_bytes;
-      wl.sink_read_rate_bps = 0.0;  // always-ready application
-      Scenario sc = lan_scenario(n, 100e6, buf, wl,
-                                 kBenchSeed + static_cast<std::uint64_t>(n));
-      RunResult r = run_transfer(sc);
+      RunResult r = run_transfer(cell(file_bytes, buf, n));
       row.push_back(std::to_string(r.sender.naks_received));
       if (n == 1) drops_one = r.sender_nic_tx_drops;
     }
@@ -42,7 +45,13 @@ void panel(const char* title, std::uint64_t file_bytes) {
 int main() {
   banner("Figure 13: NAK activity on the 100 Mbps network",
          "memory-to-memory; note the change past 1024K buffers");
+  Sweep sweep("fig13");
   panel("(a) NAK activity, 10 MB file", 10 * kMiB);
   panel("(b) NAK activity, 40 MB file", 40 * kMiB);
+
+  // NAK-over-time curve for the largest-buffer cell — the regime where
+  // local tx drops (and hence NAKs) actually appear.
+  traced_cell(sweep, "traced_10MB_4096K_1rcv",
+              cell(10 * kMiB, 4096 * 1024, 1));
   return 0;
 }

@@ -30,6 +30,7 @@ MiniTcpSender::MiniTcpSender(net::Host& host, const MiniTcpConfig& cfg,
       ssthresh_(cfg.sndbuf),
       rtt_(cfg.initial_rtt, sim::microseconds(100)),
       rto_timer_(host.scheduler(), [this] { rto_fire(); }) {
+  snd_una_ = snd_nxt_ = cfg_.initial_seq;
   host_.register_transport(kIpProtoMiniTcp, this);
 }
 
@@ -223,6 +224,7 @@ void MiniTcpSender::rto_fire() {
 MiniTcpReceiver::MiniTcpReceiver(net::Host& host, const MiniTcpConfig& cfg,
                                  net::Port local_port)
     : host_(host), cfg_(cfg), local_port_(local_port) {
+  rcv_nxt_ = cfg_.initial_seq;
   host_.register_transport(kIpProtoMiniTcp, this);
 }
 

@@ -32,6 +32,10 @@ struct MiniTcpConfig {
   sim::SimTime initial_rtt = sim::milliseconds(100);
   sim::SimTime min_rto = sim::milliseconds(20);
   static constexpr kern::Seq kInitialSeq = 1;
+  /// First sequence number of the stream. Both ends must agree (there
+  /// is no SYN exchange). Tests set this near 2^32 to exercise the
+  /// modular-arithmetic paths across the sequence wrap.
+  kern::Seq initial_seq = kInitialSeq;
 };
 
 struct MiniTcpStats {

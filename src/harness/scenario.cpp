@@ -21,6 +21,25 @@ RunResult run_transfer(const Scenario& sc) {
 
   const net::Endpoint group{kGroupAddr, kGroupPort};
 
+  // Observability: one shared ring; each component gets a sink stamped
+  // with its host id (the trace.hpp convention).
+  std::unique_ptr<trace::TraceRing> ring;
+  if (sc.trace.enabled) {
+    ring = std::make_unique<trace::TraceRing>(sc.trace.ring_capacity);
+    topo.backbone().set_trace(
+        trace::TraceSink(ring.get(), &sched, trace::kBackboneHost));
+    for (std::size_t g = 0; g < topo.group_count(); ++g) {
+      topo.group_router(g).set_trace(
+          trace::TraceSink(ring.get(), &sched, trace::router_host(g)));
+    }
+    topo.sender().nic()->set_trace(
+        trace::TraceSink(ring.get(), &sched, trace::nic_host(0)));
+    for (std::size_t i = 0; i < topo.receiver_count(); ++i) {
+      topo.receiver_nic(i).set_trace(
+          trace::TraceSink(ring.get(), &sched, trace::nic_host(1 + i)));
+    }
+  }
+
   // Which receivers does the fault plan ever crash, and which are
   // expected to hold the complete stream at the end (never crashed, or
   // crashed but restarted afterwards — a restarted receiver resyncs
@@ -52,6 +71,10 @@ RunResult run_transfer(const Scenario& sc) {
   for (std::size_t i = 0; i < topo.receiver_count(); ++i) {
     auto sock = std::make_unique<proto::HrmcReceiver>(
         topo.receiver(i), sc.proto, group, topo.sender().addr());
+    if (ring) {
+      sock->set_trace(
+          trace::TraceSink(ring.get(), &sched, trace::receiver_host(i)));
+    }
     app::SinkApp::Options opt;
     opt.chunk = sc.workload.chunk;
     opt.read_rate_bps = sc.workload.sink_read_rate_bps;
@@ -75,11 +98,18 @@ RunResult run_transfer(const Scenario& sc) {
     injector->on_receiver_restart = [&rcv_socks](std::size_t i) {
       if (i < rcv_socks.size()) rcv_socks[i]->restart();
     };
+    if (ring) {
+      injector->set_trace(trace::TraceSink(ring.get(), &sched, 0));
+    }
     injector->arm();
   }
 
   // Sender and its application.
   proto::HrmcSender snd(topo.sender(), sc.proto, kGroupPort, group);
+  if (ring) {
+    snd.set_trace(
+        trace::TraceSink(ring.get(), &sched, trace::kSenderHost));
+  }
   app::SourceApp::Options sopt;
   sopt.total_bytes = sc.workload.file_bytes;
   sopt.chunk = sc.workload.chunk;
@@ -106,7 +136,46 @@ RunResult run_transfer(const Scenario& sc) {
     return survivors_complete() && snd.finished();
   };
 
+  // Time-series sampler: reads (never mutates) protocol state, so its
+  // presence changes only the executed-event count, not the run.
+  std::unique_ptr<trace::Sampler> sampler;
+  if (sc.trace.enabled && sc.trace.sample_period > 0) {
+    sampler = std::make_unique<trace::Sampler>(
+        sched, sc.trace.sample_period, [&snd, &rcv_socks] {
+          trace::SamplePoint p;
+          p.rate_bps = snd.current_rate();
+          p.send_window_bytes = static_cast<double>(snd.queued_bytes());
+          p.stalled = snd.window_stalled() ? 1 : 0;
+          p.naks_received = static_cast<double>(snd.stats().naks_received);
+          p.rate_requests_received =
+              static_cast<double>(snd.stats().rate_requests_received);
+          p.updates_received =
+              static_cast<double>(snd.stats().updates_received);
+          p.retransmissions =
+              static_cast<double>(snd.stats().retransmissions);
+          for (const auto& r : rcv_socks) {
+            p.recv_occupancy_bytes = std::max(
+                p.recv_occupancy_bytes, static_cast<double>(r->occupancy()));
+            p.recv_region = std::max(
+                p.recv_region, static_cast<double>(r->flow_region()));
+            p.nak_list_ranges += static_cast<double>(r->nak_backlog());
+            p.update_period_jiffies =
+                std::max(p.update_period_jiffies,
+                         static_cast<double>(r->update_period()));
+          }
+          return p;
+        });
+    sampler->start();
+  }
+
   sched.run_while([&] { return !done(); }, sc.time_limit);
+
+  // Quiesce every timer before reading stats: stop() also closes a
+  // stall interval still open at shutdown, so the stats counter agrees
+  // with window_stall_time() even for a run that ends mid-stall.
+  if (sampler) sampler->stop();
+  snd.stop();
+  for (auto& r : rcv_socks) r->stop();
 
   RunResult res;
   res.completed = all_receivers_complete();
@@ -165,9 +234,11 @@ RunResult run_transfer(const Scenario& sc) {
         topo.group_router(g).counters().get("loss_drops");
   }
 
-  // Quiesce every timer so the scheduler can be torn down cleanly.
-  snd.stop();
-  for (auto& r : rcv_socks) r->stop();
+  if (ring) {
+    res.trace_records = ring->records();
+    res.trace_dropped = ring->dropped();
+  }
+  if (sampler) res.samples = sampler->take();
   return res;
 }
 

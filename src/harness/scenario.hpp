@@ -16,6 +16,8 @@
 #include "hrmc/stats.hpp"
 #include "net/fault.hpp"
 #include "net/topology.hpp"
+#include "trace/sampler.hpp"
+#include "trace/trace.hpp"
 
 namespace hrmc::harness {
 
@@ -31,6 +33,18 @@ struct Workload {
   app::DiskConfig disk;
 };
 
+/// Observability knobs for a run. `enabled` attaches one shared
+/// TraceRing to every traced component (sender, receivers, routers,
+/// NICs, fault injector) using the trace.hpp host-id convention;
+/// `sample_period > 0` additionally runs a time-series Sampler over the
+/// live protocol state. Neither changes protocol behaviour: trace
+/// emission is a passive store and the sampler only reads.
+struct TraceOptions {
+  bool enabled = false;
+  std::size_t ring_capacity = 1 << 18;  ///< records (32 B each)
+  sim::SimTime sample_period = 0;       ///< 0 = no time series
+};
+
 struct Scenario {
   std::string name = "scenario";
   net::TopologyConfig topo;
@@ -44,6 +58,7 @@ struct Scenario {
   /// by default; an empty plan adds no events and no RNG draws, so
   /// fault-free runs are bit-identical with or without this field.
   net::FaultPlan faults;
+  TraceOptions trace;
 };
 
 struct RunResult {
@@ -67,6 +82,11 @@ struct RunResult {
   int survivors_completed = 0;
   std::uint64_t evicted_count = 0;  ///< members evicted by the sender
   sim::SimTime stall_time = 0;      ///< window time blocked past hold
+
+  // Observability output (TraceOptions). Empty unless enabled.
+  std::vector<trace::TraceRecord> trace_records;  ///< time-ordered
+  std::uint64_t trace_dropped = 0;  ///< oldest records the ring overwrote
+  std::vector<trace::SamplePoint> samples;
 
   /// Fig 3 metric, percent.
   [[nodiscard]] double complete_info_pct() const {

@@ -32,7 +32,12 @@ struct McMember {
   sim::SimTime last_heard = 0;
   /// Last time a PROBE was unicast to this member (probe pacing).
   sim::SimTime last_probed = -1;
-  /// Sequence the outstanding probe asked about; 0 when none.
+  /// True while a probe is outstanding (sent, not yet answered). This is
+  /// the authoritative "probe in flight" flag: probe_seq == 0 is a valid
+  /// gate position once the stream wraps, so it cannot double as one.
+  bool probe_pending = false;
+  /// Sequence the outstanding probe asked about (meaningful only while
+  /// probe_pending).
   kern::Seq probe_seq = 0;
   /// Consecutive probes re-sent without any answer; resets to 0 the
   /// moment the outstanding probe is answered. Reaching

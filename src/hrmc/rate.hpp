@@ -95,8 +95,14 @@ class RateController {
   /// URGENT rate request: stop forward transmission for two RTTs, then
   /// restart from the minimum rate in slow start (§2 rule 3).
   void on_urgent(sim::SimTime now, sim::SimTime srtt) {
-    stop_until_ = std::max(stop_until_,
-                           now + cfg_->urgent_stop_rtts * srtt);
+    // Early in a connection srtt can still be 0, which would make the
+    // stop zero-length (an urgent request that stops nothing). The stop
+    // must bite even without an RTT estimate: clamp to one jiffy, the
+    // finest interval the transmit pump observes.
+    const sim::SimTime stop_len = std::max<sim::SimTime>(
+        static_cast<sim::SimTime>(cfg_->urgent_stop_rtts * srtt),
+        kern::kJiffy);
+    stop_until_ = std::max(stop_until_, now + stop_len);
     ssthresh_ = std::max(rate_ / 2, cfg_->min_rate);
     set_rate(cfg_->min_rate);
   }

@@ -293,6 +293,7 @@ void HrmcReceiver::insert_out_of_order(Seq begin, Seq end,
 void HrmcReceiver::insert_trimmed(Seq begin, Seq end, kern::SkBuffPtr skb,
                                   std::vector<OooSeg>::iterator at) {
   if (!seq_before(begin, end)) return;
+  trace_.emit(trace::EventKind::kOooInsert, begin, end, ooo_bytes_);
   ooo_bytes_ += static_cast<std::size_t>(seq_diff(begin, end));
   nak_list_.fill(begin, end);
   out_of_order_queue_.insert(at, OooSeg{begin, end, std::move(skb)});
@@ -335,6 +336,7 @@ void HrmcReceiver::nak_holes_up_to(Seq upto) {
     // A hole existed but every byte of it is already pending: local NAK
     // suppression at work.
     stats_.naks_suppressed++;
+    trace_.emit(trace::EventKind::kNakSuppress, rcv_nxt_, upto, 0);
   }
   // With FEC active and the parity due soon, give it one interval to
   // repair the hole locally before spending a NAK round trip on it
@@ -363,12 +365,21 @@ void HrmcReceiver::after_stream_advance() {
 void HrmcReceiver::check_flow_control(std::uint32_t advertised_rate) {
   const double occ = static_cast<double>(occupancy());
   const double buf = static_cast<double>(cfg_.rcvbuf);
-  if (occ < cfg_.warn_fraction * buf) {
+  const int region = occ < cfg_.warn_fraction * buf   ? 0
+                     : occ < cfg_.crit_fraction * buf ? 1
+                                                      : 2;
+  if (region != fc_region_) {
+    trace_.emit(trace::EventKind::kRegion, rcv_nxt_, rcv_nxt_,
+                static_cast<std::uint64_t>(region),
+                static_cast<std::uint32_t>(fc_region_));
+    fc_region_ = region;
+  }
+  if (region == 0) {
     return;  // rule 1: safe region, no action
   }
   const double rtt_s = sim::to_seconds(rtt_.srtt());
   const double empty = buf - occ;
-  if (occ < cfg_.crit_fraction * buf) {
+  if (region == 1) {
     // Rule 2: warning region. Request a lower rate if what the sender
     // may emit over the next WARNBUF RTTs exceeds the remaining space.
     const double incoming =
@@ -523,7 +534,10 @@ void HrmcReceiver::process_join_response(const Header& h) {
       rcv_wnd_ = rcv_nxt_ = h.seq;
       resync_pending_ = false;
       ++resyncs_;
+      trace_.emit(trace::EventKind::kResync, rcv_nxt_, rcv_nxt_,
+                  host_.addr());
     }
+    trace_.emit(trace::EventKind::kJoined, rcv_nxt_, rcv_nxt_, host_.addr());
     rtt_.sample(host_.scheduler().now() - join_sent_at_,
                 /*from_retransmit=*/join_tries_ > 1);
     join_timer_.del_timer();
@@ -570,6 +584,8 @@ void HrmcReceiver::process_nak_err(const Header& h) {
 
 void HrmcReceiver::send_nak(const NakRange& r) {
   stats_.naks_sent++;
+  trace_.emit(trace::EventKind::kNakEmit, r.from, r.to, rcv_nxt_, 0,
+              answering_probe_ ? trace::kFlagSolicited : 0);
   // NAK: seq = next expected (member-state refresh), rate field = start
   // of the missing range, length = its size (wire.hpp). URG marks a
   // probe-solicited NAK.
@@ -579,12 +595,16 @@ void HrmcReceiver::send_nak(const NakRange& r) {
 
 void HrmcReceiver::send_update() {
   stats_.updates_sent++;
+  trace_.emit(trace::EventKind::kUpdate, rcv_nxt_, rcv_nxt_, occupancy(), 0,
+              answering_probe_ ? trace::kFlagSolicited : 0);
   emit(PacketType::kUpdate, rcv_nxt_, 0, 0, answering_probe_);
 }
 
 void HrmcReceiver::send_control(std::uint32_t requested_rate, bool urgent) {
   stats_.rate_requests_sent++;
   if (urgent) stats_.urgent_requests_sent++;
+  trace_.emit(trace::EventKind::kRateRequest, rcv_nxt_, rcv_nxt_,
+              requested_rate, urgent ? 1 : 0);
   emit(PacketType::kControl, rcv_nxt_, requested_rate, 0, urgent);
 }
 
@@ -592,6 +612,10 @@ void HrmcReceiver::send_join() {
   join_state_ = JoinState::kJoining;
   join_sent_at_ = host_.scheduler().now();
   ++join_tries_;
+  if (resync_pending_) {
+    trace_.emit(trace::EventKind::kResyncJoin, rcv_nxt_, rcv_nxt_,
+                host_.addr());
+  }
   // URG on a JOIN marks a crash-restart resync: the sender must anchor
   // this member at its current position, not at our stale rcv_nxt_.
   emit(PacketType::kJoin, rcv_nxt_, 0, 0, /*urg=*/resync_pending_);
@@ -651,12 +675,18 @@ void HrmcReceiver::update_timer_fire() {
   if (cfg_.dynamic_update_timer) {
     // §3 "Dynamic Update Timers": probes mean the sender is starved for
     // information — speed up; silence means updates suffice — back off.
+    const kern::Jiffies before = update_period_;
     if (probe_seen_this_period_) {
       update_period_ = std::max<kern::Jiffies>(cfg_.update_period_min,
                                                update_period_ - 1);
     } else {
       update_period_ = std::min<kern::Jiffies>(cfg_.update_period_max,
                                                update_period_ + 1);
+    }
+    if (update_period_ != before) {
+      trace_.emit(trace::EventKind::kUpdatePeriod, rcv_nxt_, rcv_nxt_,
+                  static_cast<std::uint64_t>(update_period_),
+                  static_cast<std::uint32_t>(before));
     }
   }
   probe_seen_this_period_ = false;

@@ -34,6 +34,7 @@
 #include "hrmc/wire.hpp"
 #include "kern/timer.hpp"
 #include "net/host.hpp"
+#include "trace/trace.hpp"
 
 namespace hrmc::proto {
 
@@ -117,6 +118,13 @@ class HrmcReceiver final : public net::Transport {
   [[nodiscard]] kern::Jiffies update_period() const { return update_period_; }
   [[nodiscard]] bool joined() const { return join_state_ == JoinState::kJoined; }
   [[nodiscard]] sim::SimTime srtt() const { return rtt_.srtt(); }
+  /// Pending NAK ranges still awaiting repair (time-series sampling).
+  [[nodiscard]] std::size_t nak_backlog() const { return nak_list_.size(); }
+  /// Current flow-control region: 0 safe, 1 warning, 2 critical.
+  [[nodiscard]] int flow_region() const { return fc_region_; }
+
+  /// Attaches a trace sink (see HrmcSender::set_trace).
+  void set_trace(trace::TraceSink sink) { trace_ = sink; }
 
   // --- net::Transport ---
   void rx(kern::SkBuffPtr skb) override;
@@ -217,6 +225,8 @@ class HrmcReceiver final : public net::Transport {
   NakList nak_list_;
   RttEstimator rtt_;
   ReceiverStats stats_;
+  trace::TraceSink trace_;
+  int fc_region_ = 0;  ///< last flow-control region (0/1/2)
 
   // FEC extension: cache of recent full-MSS data payloads, used to
   // reconstruct a single missing packet of a parity group. Bounded by

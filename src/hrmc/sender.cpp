@@ -43,6 +43,15 @@ HrmcSender::~HrmcSender() {
 }
 
 void HrmcSender::stop() {
+  // A run can end mid-stall; close the open interval so the stats
+  // counter does not under-report (the accessor already included it).
+  if (stall_since_ >= 0) {
+    const sim::SimTime now = host_.scheduler().now();
+    stats_.window_stall_time += now - stall_since_;
+    trace_.emit(trace::EventKind::kStallClose, snd_wnd_, snd_wnd_,
+                static_cast<std::uint64_t>(now - stall_since_));
+    stall_since_ = -1;
+  }
   transmit_timer_.del_timer();
   retrans_timer_.del_timer();
   ka_timer_.del_timer();
@@ -137,12 +146,6 @@ void HrmcSender::transmit_pump() {
       first_unsent_ < write_queue_.size() || !retrans_queue_.empty();
   rate_.maybe_grow(now, rtt_.srtt(), actively_sending);
 
-  // Budget over the elapsed interval, capped at one jiffy so an idle
-  // stretch does not bank into a burst.
-  sim::SimTime dt = std::min<sim::SimTime>(now - last_pump_, kern::kJiffy);
-  last_pump_ = now;
-  std::uint64_t budget = rate_.budget(dt) + budget_carry_;
-
   // Device check: like the kernel driver, the transmitter consults the
   // device queue and requeues instead of flooding a full card. This is
   // why the paper sees no local loss at 10 Mbps — the rate window can
@@ -157,6 +160,16 @@ void HrmcSender::transmit_pump() {
       host_.nic()->tx_queue_len() > host_.nic()->config().tx_ring / 4) {
     rate_.on_device_full(now);
   }
+
+  // Budget over the elapsed interval, capped at one jiffy so an idle
+  // stretch does not bank into a burst. Computed only after the
+  // device-full decay above: the packets sent this jiffy advertise the
+  // post-decay rate, and a budget drawn at the pre-decay rate would let
+  // the sender spend above its own advertisement — a rule 3 violation
+  // the trace checker flags.
+  sim::SimTime dt = std::min<sim::SimTime>(now - last_pump_, kern::kJiffy);
+  last_pump_ = now;
+  std::uint64_t budget = rate_.budget(dt) + budget_carry_;
 
   budget = service_retransmissions(budget);
   if (!rate_.stopped(now)) {
@@ -287,6 +300,9 @@ void HrmcSender::transmit_record(TxRecord& rec, bool retransmission) {
   rec.sent = true;
   rec.last_sent = now;
   if (retransmission) rec.last_retrans = now;
+  trace_.emit(retransmission ? trace::EventKind::kRetransmit
+                             : trace::EventKind::kSend,
+              rec.seq_begin, rec.seq_end, h.rate);
   note_forward_activity();
   host_.send(std::move(skb));
 }
@@ -325,7 +341,11 @@ void HrmcSender::try_advance_window() {
       if (!resolve_dead_members(head.seq_end)) {
         // The window does not advance until every *live* member has the
         // data; from here until release the sender is stalled.
-        if (stall_since_ < 0) stall_since_ = now;
+        if (stall_since_ < 0) {
+          stall_since_ = now;
+          trace_.emit(trace::EventKind::kStallOpen, head.seq_begin,
+                      head.seq_end, 0);
+        }
         break;
       }
     }
@@ -333,11 +353,15 @@ void HrmcSender::try_advance_window() {
     // Safe (H-RMC) or unconditional (RMC) release.
     if (stall_since_ >= 0) {
       stats_.window_stall_time += now - stall_since_;
+      trace_.emit(trace::EventKind::kStallClose, head.seq_begin, head.seq_end,
+                  static_cast<std::uint64_t>(now - stall_since_));
       stall_since_ = -1;
     }
     const std::size_t plen = payload_len(head);
     queued_bytes_ -= plen;
     snd_wnd_ = head.seq_end;
+    trace_.emit(trace::EventKind::kRelease, head.seq_begin, head.seq_end,
+                queued_bytes_);
     stats_.packets_released++;
     stats_.bytes_released += plen;
     sent_log_.push_back(SentLogEntry{head.seq_begin, head.seq_end,
@@ -379,9 +403,11 @@ void HrmcSender::probe_lacking_members(Seq release_seq) {
     }
   });
   if (lacking.empty()) return;
+  trace_.emit(trace::EventKind::kProbe, release_seq, release_seq,
+              lacking.size());
 
   const auto mark_probed = [&](McMember& m) {
-    if (m.probe_seq != 0) {
+    if (m.probe_pending) {
       // Re-probing while the previous probe is unanswered: one step
       // closer to declaring the member dead.
       if (m.probe_retries < std::numeric_limits<int>::max()) {
@@ -390,6 +416,7 @@ void HrmcSender::probe_lacking_members(Seq release_seq) {
       stats_.probe_retries++;
     }
     m.last_probed = now;
+    m.probe_pending = true;
     m.probe_seq = release_seq;
   };
 
@@ -432,6 +459,7 @@ bool HrmcSender::resolve_dead_members(Seq release_seq) {
     for (net::Addr addr : dead) {
       members_.remove(addr);
       stats_.members_evicted++;
+      trace_.emit(trace::EventKind::kEvict, release_seq, release_seq, addr);
     }
     // Release only if no live member is still owed the data (the gate
     // keeps holding for stragglers that do answer probes).
@@ -443,6 +471,10 @@ bool HrmcSender::resolve_dead_members(Seq release_seq) {
   // as in baseline RMC), but it no longer holds the window.
   if (!live_member_lacking) {
     stats_.dead_member_releases++;
+    for (net::Addr addr : dead) {
+      trace_.emit(trace::EventKind::kDeadRelease, release_seq, release_seq,
+                  addr);
+    }
     return true;
   }
   return false;
@@ -491,18 +523,18 @@ McMember* HrmcSender::refresh_member(net::Addr addr, Seq next_expected,
   m->next_expected = seq_max(m->next_expected, next_expected);
   m->heard_from = true;
   m->last_heard = now;
-  if (m->probe_seq != 0) {
+  if (m->probe_pending) {
     if (solicited) {
       // A marked probe response: an unambiguous RTT sample. (Unsolicited
       // feedback crossing the probe in flight must NOT be timed — with
       // many receivers those crossings are constant and would collapse
       // the estimate toward zero.)
       rtt_.sample(now - m->last_probed);
-      m->probe_seq = 0;
+      m->probe_pending = false;
       m->probe_retries = 0;
     } else if (seq_after_eq(next_expected, m->probe_seq)) {
       // Unsolicited, but it confirms everything the probe asked about.
-      m->probe_seq = 0;
+      m->probe_pending = false;
       m->probe_retries = 0;
     }
   }
@@ -597,6 +629,7 @@ void HrmcSender::process_nak(const Header& h, net::Addr from) {
     // receiver (NAK_ERR) — the RMC reliability gap, surfaced.
     emit_control_packet(PacketType::kNakErr, from, range_from, 0, h.length);
     stats_.nak_errs_sent++;
+    trace_.emit(trace::EventKind::kNakErr, range_from, range_to, from);
   } else {
     if (seq_before(range_from, snd_wnd_)) {
       // Front of the request is gone; the rest is retransmittable.
@@ -604,6 +637,7 @@ void HrmcSender::process_nak(const Header& h, net::Addr from) {
                           static_cast<std::uint32_t>(
                               seq_diff(range_from, snd_wnd_)));
       stats_.nak_errs_sent++;
+      trace_.emit(trace::EventKind::kNakErr, range_from, snd_wnd_, from);
     }
     queue_retransmission(seq_max(range_from, snd_wnd_), range_to);
   }
@@ -615,11 +649,14 @@ void HrmcSender::process_nak(const Header& h, net::Addr from) {
   const sim::SimTime sent_at = send_time_of(range_from);
   const sim::SimTime now = host_.scheduler().now();
   const bool fresh = sent_at >= 0 && now - sent_at <= fresh_bound;
+  const std::uint32_t rate_before = rate_.rate();
   if (fresh &&
       rate_.on_negative_feedback(
           now, static_cast<sim::SimTime>(cfg_.rate_cut_holdoff_rtts *
                                          static_cast<double>(rtt_.srtt())))) {
     stats_.rate_cuts++;
+    trace_.emit(trace::EventKind::kRateCut, range_from, range_to,
+                rate_.rate(), rate_before);
   }
 }
 
@@ -627,11 +664,15 @@ void HrmcSender::process_control(const Header& h, net::Addr from) {
   stats_.rate_requests_received++;
   refresh_member(from, h.seq, /*solicited=*/false);
   const sim::SimTime now = host_.scheduler().now();
+  const std::uint32_t rate_before = rate_.rate();
   if (h.urg) {
     stats_.urgent_requests_received++;
     stats_.urgent_stops++;
     stats_.slow_start_entries++;
     rate_.on_urgent(now, rtt_.srtt());
+    trace_.emit(trace::EventKind::kUrgentStop, h.seq, h.seq,
+                static_cast<std::uint64_t>(rate_.stopped_until()),
+                rate_.rate());
   } else {
     if (rate_.on_negative_feedback(
             now,
@@ -639,6 +680,8 @@ void HrmcSender::process_control(const Header& h, net::Addr from) {
                                       static_cast<double>(rtt_.srtt())),
             h.rate)) {
       stats_.rate_cuts++;
+      trace_.emit(trace::EventKind::kRateCut, h.seq, h.seq, rate_.rate(),
+                  rate_before);
     }
   }
 }
@@ -660,7 +703,7 @@ void HrmcSender::process_join(const Header& h, net::Addr from) {
     m->next_expected = snd_nxt_;  // force: the member may pre-date the crash
     m->heard_from = true;
     m->last_heard = host_.scheduler().now();
-    m->probe_seq = 0;
+    m->probe_pending = false;
     m->probe_retries = 0;
     emit_control_packet(PacketType::kJoinResponse, from, snd_nxt_,
                         rate_.rate(), 0, /*urg=*/false, /*fin=*/false);

@@ -33,6 +33,7 @@
 #include "hrmc/wire.hpp"
 #include "kern/timer.hpp"
 #include "net/host.hpp"
+#include "trace/trace.hpp"
 
 namespace hrmc::proto {
 
@@ -91,9 +92,16 @@ class HrmcSender final : public net::Transport {
   [[nodiscard]] bool fin_queued() const { return fin_closed_; }
 
   /// Total time the send window has sat blocked past its hold time
-  /// waiting on member information, including a stall still open now
-  /// (SenderStats::window_stall_time only counts closed intervals).
+  /// waiting on member information, including a stall still open now.
+  /// stop() folds any open stall into SenderStats::window_stall_time,
+  /// so after shutdown the counter and this accessor agree.
   [[nodiscard]] sim::SimTime window_stall_time() const;
+  [[nodiscard]] bool window_stalled() const { return stall_since_ >= 0; }
+
+  /// Attaches a trace sink; every protocol event of interest (send,
+  /// retransmit, release, probe, rate change, stall, eviction) is
+  /// emitted through it. A default sink is inert.
+  void set_trace(trace::TraceSink sink) { trace_ = sink; }
 
   // --- net::Transport (hrmc_master_rcv entry) ---
   void rx(kern::SkBuffPtr skb) override;
@@ -146,7 +154,7 @@ class HrmcSender final : public net::Transport {
   /// under kEvict, or every lacking member dead under kRmcFallback).
   bool resolve_dead_members(kern::Seq release_seq);
   [[nodiscard]] bool member_dead(const McMember& m) const {
-    return m.probe_seq != 0 && m.probe_retries >= cfg_.max_probe_retries;
+    return m.probe_pending && m.probe_retries >= cfg_.max_probe_retries;
   }
   /// Per-member probe spacing: the base interval grown by the
   /// configured backoff for each unanswered retry.
@@ -211,6 +219,7 @@ class HrmcSender final : public net::Transport {
   RateController rate_;
   RttEstimator rtt_;
   SenderStats stats_;
+  trace::TraceSink trace_;
 
   // FEC accumulation (extension; active when cfg_.fec_group > 0): XOR
   // of the payloads of the current group of full-MSS first transmissions.

@@ -89,32 +89,46 @@ void FaultInjector::arm() {
 }
 
 void FaultInjector::fire(const FaultEvent& ev) {
+  const auto mark = [&](std::uint16_t host, bool down) {
+    trace_.emit_as(host, down ? trace::EventKind::kDown : trace::EventKind::kUp,
+                   0, 0, 0, static_cast<std::uint32_t>(ev.kind));
+  };
   switch (ev.kind) {
     case FaultKind::kReceiverCrash:
       topo_->receiver(ev.target).set_down(true);
       counters_.inc("crashes");
+      mark(trace::receiver_host(ev.target), true);
       if (on_receiver_crash) on_receiver_crash(ev.target);
       break;
     case FaultKind::kReceiverRestart:
       topo_->receiver(ev.target).set_down(false);
       counters_.inc("restarts");
+      mark(trace::receiver_host(ev.target), false);
       if (on_receiver_restart) on_receiver_restart(ev.target);
       break;
     case FaultKind::kLinkDown:
       topo_->receiver_nic(ev.target).set_link_up(false);
       counters_.inc("link_downs");
+      // The receiver behind a dead access link is unreachable: for the
+      // release-safety invariant this is indistinguishable from a crash.
+      mark(trace::receiver_host(ev.target), true);
+      mark(trace::nic_host(1 + ev.target), true);
       break;
     case FaultKind::kLinkUp:
       topo_->receiver_nic(ev.target).set_link_up(true);
       counters_.inc("link_ups");
+      mark(trace::receiver_host(ev.target), false);
+      mark(trace::nic_host(1 + ev.target), false);
       break;
     case FaultKind::kPartition:
       topo_->group_router(ev.target).set_down(true);
       counters_.inc("partitions");
+      mark(trace::router_host(ev.target), true);
       break;
     case FaultKind::kHeal:
       topo_->group_router(ev.target).set_down(false);
       counters_.inc("heals");
+      mark(trace::router_host(ev.target), false);
       break;
     case FaultKind::kBurstLossStart:
       topo_->group_router(ev.target).set_burst_loss(

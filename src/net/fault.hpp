@@ -24,6 +24,7 @@
 #include "net/topology.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace hrmc::net {
 
@@ -88,8 +89,16 @@ class FaultInjector {
 
   [[nodiscard]] const sim::CounterSet& counters() const { return counters_; }
 
+  /// Attaches a trace sink; down/up events are emitted on behalf of the
+  /// affected entity using the shared host-id convention (receiver i →
+  /// receiver_host(i), its NIC → nic_host(1+i), group router g →
+  /// router_host(g)).
+  void set_trace(trace::TraceSink sink) { trace_ = sink; }
+
  private:
   void fire(const FaultEvent& ev);
+
+  trace::TraceSink trace_;
 
   sim::Scheduler* sched_;
   Topology* topo_;

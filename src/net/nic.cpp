@@ -10,10 +10,14 @@ void Nic::transmit(kern::SkBuffPtr skb) {
   counters_.inc("tx_offered");
   if (!link_up_) {
     counters_.inc("link_down_drops");
+    trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(trace::DropReason::kLinkDown));
     return;
   }
   if (tx_queue_.size() >= cfg_.tx_ring) {
     counters_.inc("tx_ring_drops");
+    trace_.emit(trace::EventKind::kDeviceFull, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(tx_queue_.size()));
     return;
   }
   // Card overrun model: sustained enqueue pressure above the per-jiffy
@@ -30,6 +34,8 @@ void Nic::transmit(kern::SkBuffPtr skb) {
       loss_rng_.chance(cfg_.overrun_prob)) {
     counters_.inc("tx_overrun_drops");
     counters_.inc("tx_ring_drops");
+    trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(trace::DropReason::kOverrun));
     return;
   }
   tx_queue_.push_back(std::move(skb));
@@ -65,14 +71,20 @@ void Nic::deliver(kern::SkBuffPtr skb) {
   counters_.inc("rx_offered");
   if (!link_up_) {
     counters_.inc("link_down_drops");
+    trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(trace::DropReason::kLinkDown));
     return;
   }
   if (loss_rng_.chance(cfg_.rx_loss_rate)) {
     counters_.inc("rx_loss_drops");
+    trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(trace::DropReason::kLoss));
     return;
   }
   if (burst_loss_ && burst_loss_->drop()) {
     counters_.inc("burst_loss_drops");
+    trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(trace::DropReason::kBurstLoss));
     return;
   }
   counters_.inc("rx_packets");

@@ -20,6 +20,7 @@
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace hrmc::net {
 
@@ -93,6 +94,9 @@ class Nic final : public PacketSink {
                                            : 0;
   }
 
+  /// Attaches a trace sink reporting drops and tx-ring exhaustion.
+  void set_trace(trace::TraceSink sink) { trace_ = sink; }
+
  private:
   void drain_tx();
 
@@ -111,6 +115,7 @@ class Nic final : public PacketSink {
   std::size_t burst_count_ = 0;
   std::size_t burst_prev_ = 0;
   sim::CounterSet counters_;
+  trace::TraceSink trace_;
 };
 
 }  // namespace hrmc::net

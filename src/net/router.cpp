@@ -34,10 +34,14 @@ void Router::deliver(kern::SkBuffPtr skb) {
   counters_.inc("offered");
   if (down_) {
     counters_.inc("down_drops");
+    trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(trace::DropReason::kDown));
     return;
   }
   if (skb->ttl == 0) {
     counters_.inc("ttl_drops");
+    trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(trace::DropReason::kTtl));
     return;
   }
   skb->ttl -= 1;
@@ -45,16 +49,22 @@ void Router::deliver(kern::SkBuffPtr skb) {
   // here is correlated across every downstream receiver.
   if (loss_rng_.chance(cfg_.loss_rate)) {
     counters_.inc("loss_drops");
+    trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(trace::DropReason::kLoss));
     return;
   }
   if (burst_loss_ && burst_loss_->drop()) {
     counters_.inc("burst_loss_drops");
+    trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(trace::DropReason::kBurstLoss));
     return;
   }
   if (is_multicast(skb->daddr)) {
     auto it = groups_.find(skb->daddr);
     if (it == groups_.end() || it->second.empty()) {
       counters_.inc("no_group_drops");
+      trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                  static_cast<std::uint32_t>(trace::DropReason::kNoRoute));
       return;
     }
     counters_.inc("mcast_forwarded");
@@ -72,6 +82,8 @@ void Router::deliver(kern::SkBuffPtr skb) {
   PacketSink* next = it != routes_.end() ? it->second : default_route_;
   if (next == nullptr) {
     counters_.inc("no_route_drops");
+    trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(trace::DropReason::kNoRoute));
     return;
   }
   counters_.inc("forwarded");
@@ -85,8 +97,12 @@ void Router::enqueue(PacketSink* egress, kern::SkBuffPtr skb) {
   Port& port = ports_[egress];
   if (port.queue.size() >= cfg_.queue_limit) {
     counters_.inc("queue_drops");
+    trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(trace::DropReason::kQueueFull));
     return;
   }
+  trace_.emit(trace::EventKind::kEnqueue, 0, 0, skb->wire_size(),
+              static_cast<std::uint32_t>(port.queue.size()));
   port.queue.push_back(std::move(skb));
   if (!port.busy) service(egress, port);
 }

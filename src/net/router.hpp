@@ -26,6 +26,7 @@
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace hrmc::net {
 
@@ -78,6 +79,9 @@ class Router final : public PacketSink {
   /// Total packets queued across all egress ports.
   [[nodiscard]] std::size_t queue_len() const;
 
+  /// Attaches a trace sink reporting enqueues and drops (with reason).
+  void set_trace(trace::TraceSink sink) { trace_ = sink; }
+
  private:
   struct Port {
     std::deque<kern::SkBuffPtr> queue;
@@ -100,6 +104,7 @@ class Router final : public PacketSink {
 
   std::unordered_map<PacketSink*, Port> ports_;
   sim::CounterSet counters_;
+  trace::TraceSink trace_;
 };
 
 }  // namespace hrmc::net

@@ -1,0 +1,15 @@
+#include "trace/jsonl.hpp"
+
+namespace hrmc::trace {
+
+void write_jsonl(std::ostream& os, const std::vector<TraceRecord>& records) {
+  for (const TraceRecord& r : records) {
+    os << "{\"t\":" << r.t << ",\"host\":" << r.host << ",\"kind\":\""
+       << kind_name(r.kind) << "\",\"seq_begin\":" << r.seq_begin
+       << ",\"seq_end\":" << r.seq_end << ",\"value\":" << r.value
+       << ",\"aux\":" << r.aux << ",\"flags\":" << unsigned{r.flags}
+       << "}\n";
+  }
+}
+
+}  // namespace hrmc::trace

@@ -1,0 +1,18 @@
+// JSONL rendering of a trace: one object per line, kinds as stable
+// names, so `examples/trace_dump | tools/check_trace.py` works without
+// a shared binary format.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace hrmc::trace {
+
+/// Writes one JSON object per record:
+///   {"t":12340000,"host":1,"kind":"nak","seq_begin":1460,
+///    "seq_end":2920,"value":1460,"aux":0,"flags":0}
+void write_jsonl(std::ostream& os, const std::vector<TraceRecord>& records);
+
+}  // namespace hrmc::trace

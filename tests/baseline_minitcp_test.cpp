@@ -12,16 +12,16 @@ namespace {
 
 class MiniTcpTest : public ::testing::Test {
  protected:
-  void build(double loss_rate, std::uint64_t seed = 21) {
+  void build(double loss_rate, std::uint64_t seed = 21,
+             const MiniTcpConfig& cfg = MiniTcpConfig{}) {
     net::TopologyConfig tcfg;
     tcfg.seed = seed;
     tcfg.groups = {net::group_a(1)};
     tcfg.groups[0].loss_rate = loss_rate;
     topo_ = std::make_unique<net::Topology>(sched_, tcfg);
-    rcv_ = std::make_unique<MiniTcpReceiver>(topo_->receiver(0),
-                                             MiniTcpConfig{}, 9000);
+    rcv_ = std::make_unique<MiniTcpReceiver>(topo_->receiver(0), cfg, 9000);
     snd_ = std::make_unique<MiniTcpSender>(
-        topo_->sender(), MiniTcpConfig{}, 9000,
+        topo_->sender(), cfg, 9000,
         net::Endpoint{topo_->receiver(0).addr(), 9000});
   }
 
@@ -111,6 +111,20 @@ TEST_F(MiniTcpTest, ZeroByteStreamFinishesViaFinExchange) {
   EXPECT_TRUE(rcv_->complete());
   EXPECT_TRUE(rcv_->eof());
   snd_->stop();
+}
+
+TEST_F(MiniTcpTest, LossyTransferAcrossSequenceWrap) {
+  // The stream starts 64 KiB short of 2^32, so the 256 KiB transfer
+  // crosses the wrap while loss forces retransmits, fast-retransmit
+  // dupACK counting, and cumulative-ACK comparisons on both sides of
+  // the boundary. Any raw `<` on sequence numbers stalls or corrupts.
+  MiniTcpConfig cfg;
+  cfg.initial_seq = static_cast<kern::Seq>(0) - 64 * 1024;
+  build(0.01, 77, cfg);
+  transfer(256 * 1024);
+  EXPECT_GT(snd_->stats().retransmissions, 0u);
+  EXPECT_EQ(rcv_->rcv_nxt(),
+            static_cast<kern::Seq>(cfg.initial_seq + 256 * 1024));
 }
 
 TEST_F(MiniTcpTest, AckCarriesCumulativeSequence) {

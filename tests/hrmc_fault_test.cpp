@@ -61,6 +61,21 @@ TEST(Fault, CrashUnderStallStallsForever) {
   EXPECT_GT(r.stall_time, sim::seconds(10));
 }
 
+TEST(Fault, OpenStallAtShutdownIsFoldedIntoStats) {
+  // Regression: a run that ends mid-stall (kStall policy: the window
+  // never unblocks after the crash) used to leave the open interval out
+  // of SenderStats::window_stall_time — the accessor included it but
+  // the stats struct harvested at end of run did not. stop() now closes
+  // the interval before stats are read.
+  Scenario sc = crash_scenario(proto::EvictionPolicy::kStall, 61);
+  sc.time_limit = sim::seconds(30);
+  RunResult r = run_transfer(sc);
+  ASSERT_FALSE(r.sender_finished);  // still stalled at the time limit
+  EXPECT_GT(r.sender.window_stall_time, sim::seconds(10));
+  // The harvested counter and the closing accessor agree exactly.
+  EXPECT_EQ(r.sender.window_stall_time, r.stall_time);
+}
+
 TEST(Fault, CrashUnderRmcFallbackCompletes) {
   Scenario sc = crash_scenario(proto::EvictionPolicy::kRmcFallback, 62);
   RunResult r = run_transfer(sc);

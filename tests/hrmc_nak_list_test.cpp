@@ -110,6 +110,77 @@ TEST(NakList, EmptyGapIgnored) {
   EXPECT_TRUE(l.empty());
 }
 
+TEST(NakList, AdjacentRangesKeepSeparateClocks) {
+  // [100,200) and [200,300) abut but never merge: each keeps its own
+  // suppression clock, so an old range's re-send schedule is not reset
+  // by a neighbouring new gap.
+  NakList l;
+  l.add_gap(100, 200, milliseconds(1));
+  auto fresh = l.add_gap(200, 300, milliseconds(7));
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].from, 200u);
+  EXPECT_EQ(fresh[0].to, 300u);
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_EQ(l.ranges()[0].last_sent, milliseconds(1));
+  EXPECT_EQ(l.ranges()[1].last_sent, milliseconds(7));
+}
+
+TEST(NakList, SpanningGapEmitsOnlyUntrackedPieces) {
+  NakList l;
+  l.add_gap(100, 200, milliseconds(1));
+  l.add_gap(300, 400, milliseconds(2));
+  // One big gap over both: only the three uncovered pieces are fresh.
+  auto fresh = l.add_gap(50, 450, milliseconds(3));
+  ASSERT_EQ(fresh.size(), 3u);
+  EXPECT_EQ(fresh[0].from, 50u);
+  EXPECT_EQ(fresh[0].to, 100u);
+  EXPECT_EQ(fresh[1].from, 200u);
+  EXPECT_EQ(fresh[1].to, 300u);
+  EXPECT_EQ(fresh[2].from, 400u);
+  EXPECT_EQ(fresh[2].to, 450u);
+  ASSERT_EQ(l.size(), 5u);
+  // The pre-existing ranges kept their suppression state.
+  EXPECT_EQ(l.ranges()[1].last_sent, milliseconds(1));
+  EXPECT_EQ(l.ranges()[3].last_sent, milliseconds(2));
+}
+
+TEST(NakList, FillSplitsSpanningRange) {
+  NakList l;
+  l.add_gap(100, 400, milliseconds(1));
+  l.fill(200, 300);
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_EQ(l.ranges()[0].from, 100u);
+  EXPECT_EQ(l.ranges()[0].to, 200u);
+  EXPECT_EQ(l.ranges()[1].from, 300u);
+  EXPECT_EQ(l.ranges()[1].to, 400u);
+  // Both halves inherit the original clock — a split is not a re-send.
+  EXPECT_EQ(l.ranges()[0].last_sent, milliseconds(1));
+  EXPECT_EQ(l.ranges()[1].last_sent, milliseconds(1));
+}
+
+TEST(NakList, WrapStraddlingGapAroundExistingRange) {
+  // A gap crossing the 2^32 boundary, with a range already tracked in
+  // the middle of it: only the two uncovered flanks are fresh.
+  NakList l;
+  l.add_gap(0xffffff80u, 0xffffffc0u, milliseconds(1));
+  auto fresh = l.add_gap(0xffffff00u, 0x100u, milliseconds(2));
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh[0].from, 0xffffff00u);
+  EXPECT_EQ(fresh[0].to, 0xffffff80u);
+  EXPECT_EQ(fresh[1].from, 0xffffffc0u);
+  EXPECT_EQ(fresh[1].to, 0x100u);
+  ASSERT_EQ(l.size(), 3u);
+
+  // Fill across the wrap: trims the first flank, consumes the middle
+  // range entirely, and leaves the post-wrap tail.
+  l.fill(0xffffff40u, 0x80u);
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_EQ(l.ranges()[0].from, 0xffffff00u);
+  EXPECT_EQ(l.ranges()[0].to, 0xffffff40u);
+  EXPECT_EQ(l.ranges()[1].from, 0x80u);
+  EXPECT_EQ(l.ranges()[1].to, 0x100u);
+}
+
 TEST(NakList, WraparoundRanges) {
   NakList l;
   const kern::Seq near_max = 0xffffff00u;

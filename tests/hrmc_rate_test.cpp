@@ -128,6 +128,28 @@ TEST(RateController, UrgentStopsForTwoRtts) {
   EXPECT_TRUE(r.in_slow_start());
 }
 
+TEST(RateController, UrgentStopBitesEvenWithoutRttEstimate) {
+  // Regression: with srtt still 0 (no sample yet), 2 * srtt is a
+  // zero-length stop — an URGENT request that stopped nothing. The stop
+  // must clamp to at least one jiffy.
+  Config c = cfg_with();
+  RateController r(c);
+  r.on_urgent(milliseconds(100), /*srtt=*/0);
+  EXPECT_TRUE(r.stopped(milliseconds(100)));
+  EXPECT_TRUE(r.stopped(milliseconds(100) + kern::kJiffy - 1));
+  EXPECT_FALSE(r.stopped(milliseconds(100) + kern::kJiffy));
+}
+
+TEST(RateController, UrgentStopClampsSubJiffySrtt) {
+  // A sub-jiffy RTT estimate (LAN) is finer than the transmit pump can
+  // observe; the stop still rounds up to a jiffy.
+  Config c = cfg_with();
+  RateController r(c);
+  r.on_urgent(milliseconds(100), sim::microseconds(200));
+  EXPECT_TRUE(r.stopped(milliseconds(100) + kern::kJiffy - 1));
+  EXPECT_FALSE(r.stopped(milliseconds(100) + kern::kJiffy));
+}
+
 TEST(RateController, UrgentStopsDoNotShorten) {
   Config c = cfg_with();
   RateController r(c);

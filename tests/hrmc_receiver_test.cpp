@@ -182,6 +182,43 @@ TEST_F(ReceiverTest, RetransmissionFillsGapAndDelivers) {
   EXPECT_EQ(app::pattern_verify({buf.data(), 3000}, 0), 3000u);
 }
 
+TEST_F(ReceiverTest, OutOfOrderInsertAcrossSequenceWrap) {
+  // Regression net for the OOO insert path near the 2^32 boundary: the
+  // middle packet straddles the wrap, arrives first, and must be held
+  // out of order (not mistaken for old data by a raw seq comparison).
+  // send_data() bakes Config::kInitialSeq into the pattern offset, so
+  // this test injects directly with explicit pattern bases.
+  Config cfg;
+  cfg.initial_seq = static_cast<kern::Seq>(0) - 1500;
+  make_receiver(cfg);
+  const kern::Seq s0 = cfg.initial_seq;          // [-1500, -500)
+  const kern::Seq s1 = cfg.initial_seq + 1000;   // [-500, 500): wraps
+  const kern::Seq s2 = cfg.initial_seq + 2000;   // [500, 1500)
+
+  inject(PacketType::kData, s1, 1000, 1'000'000, false, false,
+         /*pattern_base=*/1000, /*has_payload=*/true);
+  run_for(sim::milliseconds(10));
+  EXPECT_EQ(rcv_->stats().out_of_order_packets, 1u);
+  EXPECT_EQ(rcv_->available(), 0u);
+  auto naks = at_sender_.of_type(PacketType::kNak);
+  ASSERT_EQ(naks.size(), 1u);
+  EXPECT_EQ(naks[0].rate, s0);  // missing range starts at the anchor
+  EXPECT_EQ(naks[0].length, 1000u);
+  EXPECT_EQ(naks[0].seq, s0);  // next expected
+
+  inject(PacketType::kData, s0, 1000, 1'000'000, false, false, 0, true);
+  run_for(sim::milliseconds(10));
+  EXPECT_EQ(rcv_->available(), 2000u);  // drained across the wrap
+  inject(PacketType::kData, s2, 1000, 1'000'000, false, true, 2000, true);
+  run_for(sim::milliseconds(50));
+  EXPECT_EQ(rcv_->available(), 3000u);
+
+  std::vector<std::uint8_t> buf(3000);
+  ASSERT_EQ(rcv_->recv(buf), 3000u);
+  EXPECT_EQ(app::pattern_verify({buf.data(), 3000}, 0), 3000u);
+  EXPECT_EQ(rcv_->stats().data_packets_received, 3u);
+}
+
 TEST_F(ReceiverTest, DuplicateDataCounted) {
   make_receiver(Config{});
   send_data(Config::kInitialSeq, 1000);

@@ -375,7 +375,7 @@ TEST_F(SenderTest, SolicitedResponseClearsProbeAndSamplesRtt) {
   run_for(sim::seconds(1));
   const McMember* m = snd_->members().find(topo_->receiver(0).addr());
   ASSERT_NE(m, nullptr);
-  ASSERT_NE(m->probe_seq, 0u);
+  ASSERT_TRUE(m->probe_pending);
   const sim::SimTime srtt_before = snd_->srtt();
   // Solicited (URG-marked) UPDATE: answers the probe and is timed.
   auto skb = kern::SkBuff::alloc(0, Header::kSize + 44);
@@ -391,7 +391,7 @@ TEST_F(SenderTest, SolicitedResponseClearsProbeAndSamplesRtt) {
   skb->protocol = kIpProtoHrmc;
   topo_->receiver(0).send(std::move(skb));
   run_for(sim::milliseconds(50));
-  EXPECT_EQ(m->probe_seq, 0u);
+  EXPECT_FALSE(m->probe_pending);
   EXPECT_NE(snd_->srtt(), srtt_before);  // a sample was taken
 }
 
@@ -403,14 +403,48 @@ TEST_F(SenderTest, UnsolicitedUpdateClearsProbeWithoutSampling) {
   run_for(sim::seconds(1));
   const McMember* m = snd_->members().find(topo_->receiver(0).addr());
   ASSERT_NE(m, nullptr);
-  ASSERT_NE(m->probe_seq, 0u);
+  ASSERT_TRUE(m->probe_pending);
   const sim::SimTime srtt_before = snd_->srtt();
   // A periodic (unmarked) UPDATE confirming everything: probe resolved
   // but NOT timed — it may have crossed the probe in flight.
   inject_from(0, PacketType::kUpdate, Config::kInitialSeq + 1024);
   run_for(sim::milliseconds(50));
-  EXPECT_EQ(m->probe_seq, 0u);
+  EXPECT_FALSE(m->probe_pending);
   EXPECT_EQ(snd_->srtt(), srtt_before);  // no sample
+}
+
+TEST_F(SenderTest, ProbeBookkeepingSurvivesSequenceWrap) {
+  // Regression: probe_seq == 0 doubled as "no probe outstanding", so a
+  // probe for a release gate that lands exactly on sequence 0 (after
+  // the 2^32 wrap) never counted its retries and the lacking member
+  // could not be declared dead — the window stalled forever. The
+  // explicit probe_pending flag decouples the two.
+  Config cfg;
+  cfg.initial_seq = static_cast<kern::Seq>(0) - 2000;  // wrap mid-stream
+  cfg.mss = 1000;
+  cfg.eviction_policy = EvictionPolicy::kEvict;
+  cfg.max_probe_retries = 3;
+  make_sender(cfg);
+  inject_from(0, PacketType::kJoin, cfg.initial_seq);
+  run_for(sim::milliseconds(50));
+  // Acknowledge the first packet only, then go silent: the release gate
+  // sticks at the head [-1000, 0), so every probe carries seq 0.
+  inject_from(0, PacketType::kUpdate, static_cast<kern::Seq>(0) - 1000);
+  offer(3000);
+  snd_->close();
+  run_for(sim::seconds(30));
+
+  // Probes at gate 0 were actually sent...
+  bool probed_at_zero = false;
+  for (const Header& h : tap_[0].of_type(PacketType::kProbe)) {
+    probed_at_zero |= h.seq == 0;
+  }
+  EXPECT_TRUE(probed_at_zero);
+  // ...their retries counted, and the silent member was evicted, which
+  // unblocks the window and lets the sender finish.
+  EXPECT_GT(snd_->stats().probe_retries, 0u);
+  EXPECT_EQ(snd_->stats().members_evicted, 1u);
+  EXPECT_TRUE(snd_->finished());
 }
 
 TEST_F(SenderTest, UnknownFeedbackSenderIsAdopted) {

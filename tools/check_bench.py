@@ -47,6 +47,12 @@ def main():
             if have is None:
                 failures.append(f"{name}.{key}: missing from {args.current}")
                 continue
+            if not isinstance(have, (int, float)) or isinstance(have, bool):
+                # Reports may carry non-numeric extras (time-series
+                # lists, labels); only numeric metrics are gateable.
+                failures.append(f"{name}.{key}: non-numeric in "
+                                f"{args.current}")
+                continue
             floor = want * (1.0 - args.max_regress)
             status = "OK" if have >= floor else "FAIL"
             print(f"{status:4} {name}.{key}: {have:.0f} "
