@@ -1,0 +1,469 @@
+#include "harness/chaos.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <sstream>
+
+#include "harness/parallel.hpp"
+#include "sim/random.hpp"
+#include "trace/verify.hpp"
+
+namespace hrmc::harness {
+
+namespace {
+
+using net::FaultEvent;
+using net::FaultKind;
+
+// --- Generation ------------------------------------------------------
+
+/// Recovery partner of a fault kind (nullopt when the kind has none in
+/// the direction asked). Every generated fault carries its partner so
+/// scenarios stay survivable; the shrinker removes pairs together so a
+/// candidate never turns a recoverable fault into an unrecoverable one
+/// (which would change the failure being minimized).
+std::optional<FaultKind> partner_of(FaultKind k) {
+  switch (k) {
+    case FaultKind::kReceiverCrash: return FaultKind::kReceiverRestart;
+    case FaultKind::kReceiverRestart: return FaultKind::kReceiverCrash;
+    case FaultKind::kLinkDown: return FaultKind::kLinkUp;
+    case FaultKind::kLinkUp: return FaultKind::kLinkDown;
+    case FaultKind::kPartition: return FaultKind::kHeal;
+    case FaultKind::kHeal: return FaultKind::kPartition;
+    case FaultKind::kBurstLossStart: return FaultKind::kBurstLossStop;
+    case FaultKind::kBurstLossStop: return FaultKind::kBurstLossStart;
+    case FaultKind::kReorderStart: return FaultKind::kReorderStop;
+    case FaultKind::kReorderStop: return FaultKind::kReorderStart;
+    case FaultKind::kDuplicateStart: return FaultKind::kDuplicateStop;
+    case FaultKind::kDuplicateStop: return FaultKind::kDuplicateStart;
+    case FaultKind::kCorruptStart: return FaultKind::kCorruptStop;
+    case FaultKind::kCorruptStop: return FaultKind::kCorruptStart;
+    case FaultKind::kControlLossStart: return FaultKind::kControlLossStop;
+    case FaultKind::kControlLossStop: return FaultKind::kControlLossStart;
+    case FaultKind::kJitterStart: return FaultKind::kJitterStop;
+    case FaultKind::kJitterStop: return FaultKind::kJitterStart;
+  }
+  return std::nullopt;
+}
+
+[[nodiscard]] bool receiver_scoped(FaultKind k) {
+  return k == FaultKind::kReceiverCrash || k == FaultKind::kReceiverRestart ||
+         k == FaultKind::kLinkDown || k == FaultKind::kLinkUp;
+}
+
+FaultEvent make_fault(FaultKind kind, sim::SimTime at, std::size_t target) {
+  FaultEvent ev;
+  ev.kind = kind;
+  ev.at = at;
+  ev.target = target;
+  return ev;
+}
+
+}  // namespace
+
+ChaosSpec generate_spec(std::uint64_t seed) {
+  sim::Rng rng(sim::substream_seed(seed, "chaos/gen"));
+  ChaosSpec s;
+  s.seed = seed;
+  s.network_bps = rng.chance(0.5) ? 10e6 : 100e6;
+  s.file_bytes = (16u * 1024) << rng.uniform_int(0, 3);  // 16K .. 128K
+  s.kernel_buf = (64u * 1024) << rng.uniform_int(0, 2);  // 64K .. 256K
+
+  const int ngroups = rng.chance(0.35) ? 2 : 1;
+  for (int g = 0; g < ngroups; ++g) {
+    s.group_kind.push_back(static_cast<int>(rng.uniform_int(0, 2)));
+    s.group_receivers.push_back(static_cast<int>(1 + rng.uniform_int(0, 2)));
+  }
+  const auto receivers = static_cast<std::int64_t>(s.receiver_count());
+
+  // Fault pairs: each is an onset plus its recovery, so every scenario
+  // is survivable by construction (an unrecoverable scenario would make
+  // the oracle test the generator, not the protocol).
+  const int npairs = static_cast<int>(rng.uniform_int(0, 4));
+  bool lossy_faults = false;  // faults that can silence probe traffic
+  for (int i = 0; i < npairs; ++i) {
+    const auto cat = rng.uniform_int(0, 8);
+    // Chaos transfers complete in ~100-400 ms of sim time (short files,
+    // slow-start dominated), so onsets land across the join phase and
+    // the whole transfer, and blackouts are long enough to bite but
+    // short enough that recovery happens on-stream, not after it.
+    const sim::SimTime t0 = sim::milliseconds(50 + rng.uniform_int(0, 300));
+    const sim::SimTime t1 = t0 + sim::milliseconds(20 + rng.uniform_int(0, 180));
+    const auto rcv = static_cast<std::size_t>(
+        rng.uniform_int(0, receivers - 1));
+    const auto grp =
+        static_cast<std::size_t>(rng.uniform_int(0, ngroups - 1));
+    switch (cat) {
+      case 0: {
+        s.faults.push_back(make_fault(FaultKind::kReceiverCrash, t0, rcv));
+        s.faults.push_back(make_fault(FaultKind::kReceiverRestart, t1, rcv));
+        lossy_faults = true;
+        break;
+      }
+      case 1: {
+        s.faults.push_back(make_fault(FaultKind::kLinkDown, t0, rcv));
+        s.faults.push_back(make_fault(FaultKind::kLinkUp, t1, rcv));
+        lossy_faults = true;
+        break;
+      }
+      case 2: {
+        s.faults.push_back(make_fault(FaultKind::kPartition, t0, grp));
+        s.faults.push_back(make_fault(FaultKind::kHeal, t1, grp));
+        lossy_faults = true;
+        break;
+      }
+      case 3: {
+        FaultEvent ev = make_fault(FaultKind::kBurstLossStart, t0, grp);
+        ev.ge.p_good_bad = rng.uniform(0.001, 0.05);
+        ev.ge.p_bad_good = rng.uniform(0.1, 0.5);
+        ev.ge.loss_bad = rng.uniform(0.5, 1.0);
+        s.faults.push_back(ev);
+        s.faults.push_back(make_fault(FaultKind::kBurstLossStop, t1, grp));
+        lossy_faults = true;
+        break;
+      }
+      case 4: {
+        FaultEvent ev = make_fault(FaultKind::kReorderStart, t0, grp);
+        ev.disturb.reorder_prob = rng.uniform(0.05, 0.5);
+        ev.disturb.reorder_hold =
+            sim::milliseconds(1 + rng.uniform_int(0, 19));
+        s.faults.push_back(ev);
+        s.faults.push_back(make_fault(FaultKind::kReorderStop, t1, grp));
+        break;
+      }
+      case 5: {
+        FaultEvent ev = make_fault(FaultKind::kDuplicateStart, t0, grp);
+        ev.disturb.dup_prob = rng.uniform(0.05, 0.3);
+        s.faults.push_back(ev);
+        s.faults.push_back(make_fault(FaultKind::kDuplicateStop, t1, grp));
+        break;
+      }
+      case 6: {
+        FaultEvent ev = make_fault(FaultKind::kCorruptStart, t0, grp);
+        ev.disturb.corrupt_prob = rng.uniform(0.01, 0.2);
+        s.faults.push_back(ev);
+        s.faults.push_back(make_fault(FaultKind::kCorruptStop, t1, grp));
+        lossy_faults = true;  // a corrupted probe/update is a lost one
+        break;
+      }
+      case 7: {
+        FaultEvent ev = make_fault(FaultKind::kControlLossStart, t0, grp);
+        ev.disturb.control_loss_prob = rng.uniform(0.1, 0.4);
+        s.faults.push_back(ev);
+        s.faults.push_back(
+            make_fault(FaultKind::kControlLossStop, t1, grp));
+        lossy_faults = true;
+        break;
+      }
+      default: {
+        FaultEvent ev = make_fault(FaultKind::kJitterStart, t0, grp);
+        ev.disturb.jitter = sim::milliseconds(1 + rng.uniform_int(0, 19));
+        s.faults.push_back(ev);
+        s.faults.push_back(make_fault(FaultKind::kJitterStop, t1, grp));
+        break;
+      }
+    }
+  }
+
+  // Faults that can silence a member's feedback for a while force the
+  // paper-faithful stall policy: under kEvict a generated partition
+  // could legitimately evict a member mid-blackout, and the resulting
+  // NAK_ERR would read as an oracle failure. Pure reorder/duplicate/
+  // jitter never destroy packets, so any policy must survive them.
+  if (lossy_faults) {
+    s.eviction = proto::EvictionPolicy::kStall;
+  } else {
+    switch (rng.uniform_int(0, 3)) {
+      case 2: s.eviction = proto::EvictionPolicy::kEvict; break;
+      case 3: s.eviction = proto::EvictionPolicy::kRmcFallback; break;
+      default: s.eviction = proto::EvictionPolicy::kStall; break;
+    }
+  }
+  return s;
+}
+
+Scenario to_scenario(const ChaosSpec& spec) {
+  Scenario sc;
+  sc.name = "chaos-" + std::to_string(spec.seed);
+  sc.topo.network_bps = spec.network_bps;
+  sc.topo.seed = sim::substream_seed(spec.seed, "topo");
+  for (std::size_t g = 0; g < spec.group_kind.size(); ++g) {
+    const int n = spec.group_receivers[g];
+    switch (spec.group_kind[g]) {
+      case 0: sc.topo.groups.push_back(net::group_a(n)); break;
+      case 1: sc.topo.groups.push_back(net::group_b(n)); break;
+      default: sc.topo.groups.push_back(net::group_c(n)); break;
+    }
+  }
+  sc.proto.sndbuf = spec.kernel_buf;
+  sc.proto.rcvbuf = spec.kernel_buf;
+  sc.proto.eviction_policy = spec.eviction;
+  sc.workload.file_bytes = spec.file_bytes;
+  sc.time_limit = spec.time_limit;
+  sc.seed = spec.seed;
+  sc.faults.events = spec.faults;
+  sc.trace.enabled = true;
+  return sc;
+}
+
+ChaosVerdict judge_result(const ChaosSpec& spec, const RunResult& res) {
+  ChaosVerdict v;
+  const auto fail = [&v](std::string why) {
+    if (v.ok) {
+      v.ok = false;
+      v.failure = std::move(why);
+    }
+  };
+  if (!res.sender_finished) {
+    fail("sender did not finish within the deadline (window-stall "
+         "deadlock?)");
+  }
+  if (res.survivors_completed != res.survivor_count) {
+    fail(std::to_string(res.survivor_count - res.survivors_completed) +
+         " of " + std::to_string(res.survivor_count) +
+         " surviving receivers missing stream bytes");
+  }
+  if (res.any_stream_error) fail("receiver reported a stream error");
+  if (!res.verify_ok) fail("delivered byte pattern failed verification");
+  if (res.trace_dropped == 0) {
+    trace::VerifyOptions opt;
+    // Release safety is undefined under kRmcFallback by design
+    // (dead-member releases are deliberate); see trace/verify.hpp.
+    opt.check_release =
+        spec.eviction != proto::EvictionPolicy::kRmcFallback;
+    // Chaos scenarios legitimately delay NAK service (control loss,
+    // reorder holds, blackouts up to ~5 s); the bound stays a liveness
+    // floor, not a latency SLO.
+    opt.nak_answer_bound = sim::seconds(15);
+    const trace::VerifyResult tv = trace::verify(res.trace_records, opt);
+    if (!tv.ok) {
+      fail("trace invariant violated: " +
+           (tv.violations.empty() ? std::string("(no detail)")
+                                  : tv.violations.front()));
+    }
+  }
+  return v;
+}
+
+ChaosVerdict judge(const ChaosSpec& spec) {
+  try {
+    return judge_result(spec, run_transfer(to_scenario(spec)));
+  } catch (const std::exception& e) {
+    ChaosVerdict v;
+    v.ok = false;
+    v.failure = std::string("simulation threw: ") + e.what();
+    return v;
+  }
+}
+
+std::vector<ChaosOutcome> sweep(std::uint64_t start, int count,
+                                unsigned threads) {
+  std::vector<ChaosSpec> specs;
+  std::vector<Scenario> cells;
+  specs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    specs.push_back(generate_spec(start + static_cast<std::uint64_t>(i)));
+    cells.push_back(to_scenario(specs.back()));
+  }
+  std::vector<ChaosOutcome> out(specs.size());
+  try {
+    const ParallelRunner runner(threads);
+    const std::vector<RunResult> results = runner.run_all(cells);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      out[i].seed = specs[i].seed;
+      out[i].verdict = judge_result(specs[i], results[i]);
+    }
+  } catch (const std::exception&) {
+    // A cell threw (run_all rethrows after the pool drains): fall back
+    // to serial judging, which attributes the exception to its seed.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      out[i].seed = specs[i].seed;
+      out[i].verdict = judge(specs[i]);
+    }
+  }
+  return out;
+}
+
+// --- Serialization ---------------------------------------------------
+
+namespace {
+
+constexpr char kMagic[] = "hrmc-chaos-repro v1";
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string serialize_spec(const ChaosSpec& spec) {
+  std::ostringstream os;
+  os << kMagic << "\n";
+  os << "seed " << spec.seed << "\n";
+  os << "network_bps " << fmt_double(spec.network_bps) << "\n";
+  os << "file_bytes " << spec.file_bytes << "\n";
+  os << "kernel_buf " << spec.kernel_buf << "\n";
+  os << "eviction " << static_cast<int>(spec.eviction) << "\n";
+  os << "time_limit " << spec.time_limit << "\n";
+  for (std::size_t g = 0; g < spec.group_kind.size(); ++g) {
+    os << "group " << spec.group_kind[g] << " " << spec.group_receivers[g]
+       << "\n";
+  }
+  for (const FaultEvent& ev : spec.faults) {
+    os << "fault " << static_cast<int>(ev.kind) << " " << ev.at << " "
+       << ev.target << " " << fmt_double(ev.ge.p_good_bad) << " "
+       << fmt_double(ev.ge.p_bad_good) << " " << fmt_double(ev.ge.loss_good)
+       << " " << fmt_double(ev.ge.loss_bad) << " "
+       << fmt_double(ev.disturb.reorder_prob) << " "
+       << ev.disturb.reorder_hold << " " << fmt_double(ev.disturb.dup_prob)
+       << " " << fmt_double(ev.disturb.corrupt_prob) << " "
+       << fmt_double(ev.disturb.control_loss_prob) << " "
+       << ev.disturb.jitter << "\n";
+  }
+  return os.str();
+}
+
+std::optional<ChaosSpec> parse_spec(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) return std::nullopt;
+  ChaosSpec s;
+  s.group_kind.clear();
+  s.group_receivers.clear();
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "seed") {
+      ls >> s.seed;
+    } else if (key == "network_bps") {
+      ls >> s.network_bps;
+    } else if (key == "file_bytes") {
+      ls >> s.file_bytes;
+    } else if (key == "kernel_buf") {
+      ls >> s.kernel_buf;
+    } else if (key == "eviction") {
+      int e = 0;
+      ls >> e;
+      if (e < 0 || e > 2) return std::nullopt;
+      s.eviction = static_cast<proto::EvictionPolicy>(e);
+    } else if (key == "time_limit") {
+      ls >> s.time_limit;
+    } else if (key == "group") {
+      int kind = 0, n = 0;
+      ls >> kind >> n;
+      if (ls.fail() || kind < 0 || kind > 2 || n < 1) return std::nullopt;
+      s.group_kind.push_back(kind);
+      s.group_receivers.push_back(n);
+    } else if (key == "fault") {
+      int kind = 0;
+      FaultEvent ev;
+      ls >> kind >> ev.at >> ev.target >> ev.ge.p_good_bad >>
+          ev.ge.p_bad_good >> ev.ge.loss_good >> ev.ge.loss_bad >>
+          ev.disturb.reorder_prob >> ev.disturb.reorder_hold >>
+          ev.disturb.dup_prob >> ev.disturb.corrupt_prob >>
+          ev.disturb.control_loss_prob >> ev.disturb.jitter;
+      if (ls.fail() || kind < 0 ||
+          kind > static_cast<int>(FaultKind::kJitterStop)) {
+        return std::nullopt;
+      }
+      ev.kind = static_cast<FaultKind>(kind);
+      s.faults.push_back(ev);
+    } else {
+      return std::nullopt;  // unknown key: refuse to half-parse a repro
+    }
+    if (ls.fail()) return std::nullopt;
+  }
+  if (s.group_kind.empty()) return std::nullopt;
+  return s;
+}
+
+// --- Shrinking -------------------------------------------------------
+
+namespace {
+
+/// Removes fault event `i` and, if it has a recovery partner targeting
+/// the same entity, the partner too.
+void remove_fault_pair(ChaosSpec& s, std::size_t i) {
+  const FaultEvent removed = s.faults[i];
+  s.faults.erase(s.faults.begin() + static_cast<std::ptrdiff_t>(i));
+  const auto partner = partner_of(removed.kind);
+  if (!partner) return;
+  for (std::size_t j = 0; j < s.faults.size(); ++j) {
+    if (s.faults[j].kind == *partner &&
+        s.faults[j].target == removed.target) {
+      s.faults.erase(s.faults.begin() + static_cast<std::ptrdiff_t>(j));
+      return;
+    }
+  }
+}
+
+/// Drops the last receiver (from the last group; empty groups are
+/// erased) and every fault event whose target the smaller topology no
+/// longer has — a config-sanitized spec never trips FaultInjector's
+/// arm-time validation, so a shrink failure is always a protocol
+/// failure, never a typo'd scenario.
+bool drop_last_receiver(ChaosSpec& s) {
+  if (s.receiver_count() <= 1) return false;
+  s.group_receivers.back() -= 1;
+  if (s.group_receivers.back() == 0) {
+    s.group_receivers.pop_back();
+    s.group_kind.pop_back();
+  }
+  const std::size_t receivers = s.receiver_count();
+  const std::size_t groups = s.group_kind.size();
+  std::erase_if(s.faults, [&](const FaultEvent& ev) {
+    return ev.target >= (receiver_scoped(ev.kind) ? receivers : groups);
+  });
+  return true;
+}
+
+}  // namespace
+
+ChaosSpec shrink(const ChaosSpec& failing, int max_runs) {
+  ChaosSpec best = failing;
+  int runs = 0;
+  const auto still_fails = [&](const ChaosSpec& cand) {
+    if (runs >= max_runs) return false;
+    ++runs;
+    return !judge(cand).ok;
+  };
+  bool progress = true;
+  while (progress && runs < max_runs) {
+    progress = false;
+    // Pass 1: drop fault events, recovery pairs together.
+    for (std::size_t i = 0; i < best.faults.size() && runs < max_runs;) {
+      ChaosSpec cand = best;
+      remove_fault_pair(cand, i);
+      if (still_fails(cand)) {
+        best = std::move(cand);
+        progress = true;  // same index now names the next event
+      } else {
+        ++i;
+      }
+    }
+    // Pass 2: shrink the stream.
+    while (best.file_bytes > 4096 && runs < max_runs) {
+      ChaosSpec cand = best;
+      cand.file_bytes /= 2;
+      if (!still_fails(cand)) break;
+      best = std::move(cand);
+      progress = true;
+    }
+    // Pass 3: shrink the topology.
+    while (runs < max_runs) {
+      ChaosSpec cand = best;
+      if (!drop_last_receiver(cand)) break;
+      if (!still_fails(cand)) break;
+      best = std::move(cand);
+      progress = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace hrmc::harness

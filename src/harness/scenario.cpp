@@ -6,6 +6,7 @@
 
 #include "hrmc/receiver.hpp"
 #include "hrmc/sender.hpp"
+#include "hrmc/wire.hpp"
 #include "sim/scheduler.hpp"
 
 namespace hrmc::harness {
@@ -13,6 +14,15 @@ namespace hrmc::harness {
 namespace {
 constexpr net::Addr kGroupAddr = net::make_addr(224, 5, 5, 5);
 constexpr net::Port kGroupPort = 7500;
+
+/// Control-plane classifier for chaos control-loss faults: everything
+/// except the payload-bearing types (DATA, FEC) is control. Undecodable
+/// packets are not control — they die at the checksum either way.
+bool is_control_packet(const kern::SkBuff& skb) {
+  const auto h = proto::peek_header(skb);
+  return h && h->type != proto::PacketType::kData &&
+         h->type != proto::PacketType::kFec;
+}
 }  // namespace
 
 RunResult run_transfer(const Scenario& sc) {
@@ -98,6 +108,7 @@ RunResult run_transfer(const Scenario& sc) {
     injector->on_receiver_restart = [&rcv_socks](std::size_t i) {
       if (i < rcv_socks.size()) rcv_socks[i]->restart();
     };
+    injector->control_classifier = &is_control_packet;
     if (ring) {
       injector->set_trace(trace::TraceSink(ring.get(), &sched, 0));
     }
@@ -220,6 +231,7 @@ RunResult run_transfer(const Scenario& sc) {
     t.nak_errs_received += rs.nak_errs_received;
     t.bytes_delivered += rs.bytes_delivered;
     t.bad_packets += rs.bad_packets;
+    t.join_fast_retries += rs.join_fast_retries;
     t.fec_packets_received += rs.fec_packets_received;
     t.fec_recoveries += rs.fec_recoveries;
     if (rcv_socks[i]->stream_error()) res.any_stream_error = true;

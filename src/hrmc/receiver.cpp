@@ -157,13 +157,30 @@ void HrmcReceiver::rx(kern::SkBuffPtr skb) {
     // garbage feedback (worse: a stale UPDATE could re-stall the
     // sender's window). Only the JOIN_RESPONSE that re-anchors the
     // stream gets through.
-    if (join_state_ == JoinState::kIdle && sender_addr_ != 0) send_join();
+    if (join_state_ == JoinState::kIdle && sender_addr_ != 0) {
+      send_join();
+    } else if (join_state_ == JoinState::kJoining && sender_addr_ != 0 &&
+               host_.scheduler().now() - join_sent_at_ >= rtt_.rto()) {
+      stats_.join_fast_retries++;
+      send_join();
+    }
     if (h->type != PacketType::kJoinResponse) return;
     process_join_response(*h);
     return;
   }
   if (join_state_ == JoinState::kIdle && sender_addr_ != 0 &&
       h->type == PacketType::kData) {
+    send_join();
+  } else if (join_state_ == JoinState::kJoining && sender_addr_ != 0 &&
+             h->type == PacketType::kData &&
+             host_.scheduler().now() - join_sent_at_ >= rtt_.rto()) {
+    // DATA is flowing but the handshake is not: our JOIN or its
+    // response was lost. The 0.5 s retry timer is slower than a short
+    // transfer — the sender would run the whole stream against an
+    // empty member table, release unconditionally (RMC-style), and
+    // answer our eventual NAK with NAK_ERR. Data arrival is proof the
+    // path works, so re-JOIN after an RTO instead of waiting it out.
+    stats_.join_fast_retries++;
     send_join();
   }
 
@@ -214,8 +231,12 @@ void HrmcReceiver::process_data(const Header& h, kern::SkBuffPtr skb) {
   }
 
   // R4 check (Figure 2): data beyond the receive window cannot be
-  // buffered at all.
-  if (seq_diff(rcv_wnd_, end) > static_cast<std::int32_t>(cfg_.rcvbuf)) {
+  // buffered at all. The distance is signed modular arithmetic: a
+  // negative value means `end` is so far ahead of the window (> 2^31)
+  // that it wrapped — garbage sequence numbers must not slip past the
+  // bound and be buffered at a fabricated position.
+  const std::int32_t ahead = seq_diff(rcv_wnd_, end);
+  if (ahead < 0 || ahead > static_cast<std::int32_t>(cfg_.rcvbuf)) {
     stats_.window_overflow_drops++;
     return;
   }

@@ -513,6 +513,13 @@ void HrmcSender::rx(kern::SkBuffPtr skb) {
 
 McMember* HrmcSender::refresh_member(net::Addr addr, Seq next_expected,
                                      bool solicited) {
+  // A receiver cannot expect bytes the sender never assigned: feedback
+  // claiming a position beyond snd_nxt (stale resync echo, hostile or
+  // mangled packet) must not release window the receivers never earned.
+  if (seq_after(next_expected, snd_nxt_)) {
+    stats_.feedback_clamped++;
+    next_expected = snd_nxt_;
+  }
   McMember* m = members_.find(addr);
   if (m == nullptr) {
     // Feedback from a receiver whose JOIN we never saw; adopt it rather
@@ -601,14 +608,28 @@ void HrmcSender::queue_retransmission(Seq from, Seq to) {
 
 void HrmcSender::process_nak(const Header& h, net::Addr from) {
   stats_.naks_received++;
+
+  const Seq range_from = h.rate;  // NAK reuses the rate field (wire.hpp)
+  const Seq range_to = range_from + h.length;
+  // Validate the request against the send window before acting on it: a
+  // correct receiver can only NAK a gap below data it has already seen,
+  // so every byte of the range lies below snd_sent. An empty range, a
+  // range longer than any window could be, or one naming bytes never
+  // sent is garbage — retransmitting from it would emit bytes that do
+  // not exist, and feeding it to the rate controller punishes the whole
+  // group for a forged loss.
+  if (h.length == 0 || h.length > (1u << 30) ||
+      seq_after_eq(range_from, snd_sent_) ||
+      seq_after(range_to, snd_sent_)) {
+    stats_.naks_invalid++;
+    return;
+  }
+
   // A probe-solicited NAK (URG mark) answers that probe; refresh_member
   // times it cleanly against the probe's send time, and a data-based
   // sample would mis-attribute the old loss as a round trip.
   const bool answers_probe = h.urg;
-  refresh_member(from, h.seq, h.urg);
-
-  const Seq range_from = h.rate;  // NAK reuses the rate field (wire.hpp)
-  const Seq range_to = range_from + h.length;
+  McMember* member = refresh_member(from, h.seq, h.urg);
   // Freshness is judged against the RTO as it stood *before* this NAK's
   // own timing feeds the estimator (a stale bootstrap sample would
   // otherwise inflate the RTO enough to call itself fresh).
@@ -625,8 +646,20 @@ void HrmcSender::process_nak(const Header& h, net::Addr from) {
   }
 
   if (seq_before_eq(range_to, snd_wnd_)) {
-    // Entire request is below the window: the data is gone. Inform the
-    // receiver (NAK_ERR) — the RMC reliability gap, surfaced.
+    // Entire request is below the window: the data is gone. But the
+    // sender only releases bytes every member confirmed — so if *this*
+    // member's own reports already cover the range, the NAK is a stale
+    // duplicate (reordered or duplicated feedback arriving after its
+    // retransmission was received and acknowledged), not a reliability
+    // gap. Answering it with NAK_ERR would declare an error the
+    // receiver never experienced.
+    if (member != nullptr && seq_after_eq(member->next_expected, range_to)) {
+      stats_.naks_stale++;
+      return;
+    }
+    // Genuinely unsatisfiable (RMC mode released unconfirmed data, or
+    // the member was evicted): inform the receiver — the RMC
+    // reliability gap, surfaced.
     emit_control_packet(PacketType::kNakErr, from, range_from, 0, h.length);
     stats_.nak_errs_sent++;
     trace_.emit(trace::EventKind::kNakErr, range_from, range_to, from);

@@ -34,6 +34,11 @@ struct SenderStats {
 
   // Reliability bookkeeping
   std::uint64_t nak_errs_sent = 0;  ///< RMC mode only: request past buffer
+  // Wire-level hardening (chaos engine): malformed or impossible
+  // feedback dropped instead of acted on.
+  std::uint64_t naks_invalid = 0;   ///< NAK range beyond snd_nxt / empty
+  std::uint64_t naks_stale = 0;     ///< NAK for data the member confirmed
+  std::uint64_t feedback_clamped = 0;  ///< next_expected beyond snd_nxt
 
   // Fig 3 metric: buffer-release decisions and how many were taken with
   // complete receiver information already in hand.
@@ -71,6 +76,9 @@ struct ReceiverStats {
 
   std::uint64_t bytes_delivered = 0;  ///< handed to the application
   std::uint64_t bad_packets = 0;
+  /// JOINs re-sent early because DATA arrived while still unjoined
+  /// (lost JOIN / JOIN_RESPONSE race, chaos hardening).
+  std::uint64_t join_fast_retries = 0;
 
   // FEC extension (§6 future work (4))
   std::uint64_t fec_packets_received = 0;

@@ -65,6 +65,13 @@ std::optional<Header> peek_header(const kern::SkBuff& skb) {
   h.type = static_cast<PacketType>(raw_type);
   h.urg = (tf & kUrgBit) != 0;
   h.fin = (tf & kFinBit) != 0;
+  // Payload-bearing types must not claim more payload than the buffer
+  // holds: a truncated DATA/FEC packet acted on at face value would
+  // deliver bytes that were never sent.
+  if ((h.type == PacketType::kData || h.type == PacketType::kFec) &&
+      h.length > skb.size() - Header::kSize) {
+    return std::nullopt;
+  }
   return h;
 }
 

@@ -1,0 +1,104 @@
+// Adversarial link behaviors beyond loss: the packet pathologies real
+// networks produce and the chaos engine (harness/chaos.hpp) exercises.
+//
+//  - reordering: a fraction of packets is held for an extra delay and
+//    re-injected, so later packets overtake them;
+//  - duplication: a fraction of packets is forwarded twice;
+//  - corruption: a fraction of packets has one byte flipped in place
+//    (a single-byte change can never alias under the internet checksum,
+//    so corrupted packets are always detectable end to end);
+//  - control-plane loss: only packets a protocol-supplied classifier
+//    marks as control (NAK/UPDATE/PROBE/...) are dropped, the failure
+//    mode where the data plane is healthy but feedback starves;
+//  - delay jitter: every packet gets a uniform extra delay, a softer
+//    (and reordering-prone) cousin of the fixed path delay.
+//
+// Determinism contract (sim/random.hpp): a Disturber owns one named
+// substream, created only when a fault plan arms a behavior, so runs
+// without disturbances are bit-identical to runs predating this layer.
+// Each decision draws only when its behavior is armed.
+#pragma once
+
+#include <cstdint>
+
+#include "kern/skbuff.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace hrmc::net {
+
+/// Tells the (protocol-agnostic) net layer which packets are control
+/// plane. Installed by the harness, which can parse the H-RMC header.
+using ControlClassifier = bool (*)(const kern::SkBuff&);
+
+struct DisturbConfig {
+  double reorder_prob = 0.0;       ///< chance a packet is held back
+  sim::SimTime reorder_hold = 0;   ///< max extra hold for a held packet
+  double dup_prob = 0.0;           ///< chance a packet is forwarded twice
+  double corrupt_prob = 0.0;       ///< chance of a one-byte flip
+  double control_loss_prob = 0.0;  ///< drop chance, control packets only
+  sim::SimTime jitter = 0;         ///< max uniform extra delay, all packets
+
+  [[nodiscard]] bool any() const {
+    return reorder_prob > 0.0 || dup_prob > 0.0 || corrupt_prob > 0.0 ||
+           control_loss_prob > 0.0 || jitter > 0;
+  }
+};
+
+class Disturber {
+ public:
+  explicit Disturber(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] DisturbConfig& config() { return cfg_; }
+  [[nodiscard]] const DisturbConfig& config() const { return cfg_; }
+
+  /// Control-plane-only loss decision for this packet.
+  bool drop_control(const kern::SkBuff& skb, ControlClassifier classify) {
+    if (cfg_.control_loss_prob <= 0.0 || classify == nullptr) return false;
+    if (!classify(skb)) return false;
+    return rng_.chance(cfg_.control_loss_prob);
+  }
+
+  /// Flips one random bit of one random byte in place. Returns true if
+  /// the packet was corrupted. A single-byte change always perturbs the
+  /// internet checksum (no 16-bit word can shift by a multiple of
+  /// 0xffff through one byte), so corruption is detectable, never
+  /// silent.
+  bool corrupt(kern::SkBuff& skb) {
+    if (cfg_.corrupt_prob <= 0.0 || skb.size() == 0) return false;
+    if (!rng_.chance(cfg_.corrupt_prob)) return false;
+    const auto off = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(skb.size()) - 1));
+    const auto bit = static_cast<std::uint8_t>(1u << rng_.uniform_int(0, 7));
+    skb.mutable_bytes()[off] ^= bit;
+    return true;
+  }
+
+  /// Duplication decision for this packet.
+  bool duplicate() {
+    return cfg_.dup_prob > 0.0 && rng_.chance(cfg_.dup_prob);
+  }
+
+  /// Extra forwarding delay: jitter (every packet) plus a reorder hold
+  /// (a random subset). Either alone is enough to reorder packets
+  /// relative to undelayed neighbors.
+  sim::SimTime extra_delay() {
+    sim::SimTime d = 0;
+    if (cfg_.jitter > 0) {
+      d += static_cast<sim::SimTime>(
+          rng_.uniform(0.0, static_cast<double>(cfg_.jitter)));
+    }
+    if (cfg_.reorder_prob > 0.0 && cfg_.reorder_hold > 0 &&
+        rng_.chance(cfg_.reorder_prob)) {
+      d += static_cast<sim::SimTime>(
+          rng_.uniform(0.0, static_cast<double>(cfg_.reorder_hold)));
+    }
+    return d;
+  }
+
+ private:
+  DisturbConfig cfg_;
+  sim::Rng rng_;
+};
+
+}  // namespace hrmc::net

@@ -60,6 +60,72 @@ FaultPlan& FaultPlan::burst_loss_stop(std::size_t group, sim::SimTime at) {
   return *this;
 }
 
+FaultPlan& FaultPlan::reorder(std::size_t group, sim::SimTime at, double prob,
+                              sim::SimTime hold) {
+  FaultEvent ev = make_event(FaultKind::kReorderStart, at, group);
+  ev.disturb.reorder_prob = prob;
+  ev.disturb.reorder_hold = hold;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::reorder_stop(std::size_t group, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kReorderStop, at, group));
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplicate(std::size_t group, sim::SimTime at,
+                                double prob) {
+  FaultEvent ev = make_event(FaultKind::kDuplicateStart, at, group);
+  ev.disturb.dup_prob = prob;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplicate_stop(std::size_t group, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kDuplicateStop, at, group));
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt(std::size_t group, sim::SimTime at,
+                              double prob) {
+  FaultEvent ev = make_event(FaultKind::kCorruptStart, at, group);
+  ev.disturb.corrupt_prob = prob;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_stop(std::size_t group, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kCorruptStop, at, group));
+  return *this;
+}
+
+FaultPlan& FaultPlan::control_loss(std::size_t group, sim::SimTime at,
+                                   double prob) {
+  FaultEvent ev = make_event(FaultKind::kControlLossStart, at, group);
+  ev.disturb.control_loss_prob = prob;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::control_loss_stop(std::size_t group, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kControlLossStop, at, group));
+  return *this;
+}
+
+FaultPlan& FaultPlan::jitter(std::size_t group, sim::SimTime at,
+                             sim::SimTime max) {
+  FaultEvent ev = make_event(FaultKind::kJitterStart, at, group);
+  ev.disturb.jitter = max;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::jitter_stop(std::size_t group, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kJitterStop, at, group));
+  return *this;
+}
+
 FaultInjector::FaultInjector(sim::Scheduler& sched, Topology& topo,
                              FaultPlan plan, std::uint64_t seed)
     : sched_(&sched), topo_(&topo), plan_(std::move(plan)), seed_(seed) {}
@@ -74,7 +140,8 @@ void FaultInjector::arm() {
     const bool group_scoped = ev.kind == FaultKind::kPartition ||
                               ev.kind == FaultKind::kHeal ||
                               ev.kind == FaultKind::kBurstLossStart ||
-                              ev.kind == FaultKind::kBurstLossStop;
+                              ev.kind == FaultKind::kBurstLossStop ||
+                              ev.kind >= FaultKind::kReorderStart;
     const std::size_t limit =
         group_scoped ? topo_->group_count() : topo_->receiver_count();
     if (ev.target >= limit) {
@@ -93,20 +160,30 @@ void FaultInjector::fire(const FaultEvent& ev) {
     trace_.emit_as(host, down ? trace::EventKind::kDown : trace::EventKind::kUp,
                    0, 0, 0, static_cast<std::uint32_t>(ev.kind));
   };
+  // State-transition events are idempotent: a duplicate crash for an
+  // already-down host (or a restart for a live one, a heal for an
+  // unpartitioned router) is a no-op — it applies no state change,
+  // emits no trace mark, and invokes no protocol callback. This keeps
+  // overlapping fault pairs well-defined: without it a redundant
+  // restart would emit a bare kUp that re-arms the receiver in the
+  // release-safety checker while its resync is still in flight.
   switch (ev.kind) {
     case FaultKind::kReceiverCrash:
+      if (topo_->receiver(ev.target).is_down()) break;
       topo_->receiver(ev.target).set_down(true);
       counters_.inc("crashes");
       mark(trace::receiver_host(ev.target), true);
       if (on_receiver_crash) on_receiver_crash(ev.target);
       break;
     case FaultKind::kReceiverRestart:
+      if (!topo_->receiver(ev.target).is_down()) break;
       topo_->receiver(ev.target).set_down(false);
       counters_.inc("restarts");
       mark(trace::receiver_host(ev.target), false);
       if (on_receiver_restart) on_receiver_restart(ev.target);
       break;
     case FaultKind::kLinkDown:
+      if (!topo_->receiver_nic(ev.target).link_up()) break;
       topo_->receiver_nic(ev.target).set_link_up(false);
       counters_.inc("link_downs");
       // The receiver behind a dead access link is unreachable: for the
@@ -115,17 +192,20 @@ void FaultInjector::fire(const FaultEvent& ev) {
       mark(trace::nic_host(1 + ev.target), true);
       break;
     case FaultKind::kLinkUp:
+      if (topo_->receiver_nic(ev.target).link_up()) break;
       topo_->receiver_nic(ev.target).set_link_up(true);
       counters_.inc("link_ups");
       mark(trace::receiver_host(ev.target), false);
       mark(trace::nic_host(1 + ev.target), false);
       break;
     case FaultKind::kPartition:
+      if (topo_->group_router(ev.target).is_down()) break;
       topo_->group_router(ev.target).set_down(true);
       counters_.inc("partitions");
       mark(trace::router_host(ev.target), true);
       break;
     case FaultKind::kHeal:
+      if (!topo_->group_router(ev.target).is_down()) break;
       topo_->group_router(ev.target).set_down(false);
       counters_.inc("heals");
       mark(trace::router_host(ev.target), false);
@@ -140,7 +220,64 @@ void FaultInjector::fire(const FaultEvent& ev) {
       topo_->group_router(ev.target).clear_burst_loss();
       counters_.inc("burst_loss_stops");
       break;
+    case FaultKind::kReorderStart: {
+      DisturbConfig& d = disturber(ev.target).config();
+      d.reorder_prob = ev.disturb.reorder_prob;
+      d.reorder_hold = ev.disturb.reorder_hold;
+      counters_.inc("reorder_starts");
+      break;
+    }
+    case FaultKind::kReorderStop: {
+      DisturbConfig& d = disturber(ev.target).config();
+      d.reorder_prob = 0.0;
+      d.reorder_hold = 0;
+      counters_.inc("reorder_stops");
+      break;
+    }
+    case FaultKind::kDuplicateStart:
+      disturber(ev.target).config().dup_prob = ev.disturb.dup_prob;
+      counters_.inc("duplicate_starts");
+      break;
+    case FaultKind::kDuplicateStop:
+      disturber(ev.target).config().dup_prob = 0.0;
+      counters_.inc("duplicate_stops");
+      break;
+    case FaultKind::kCorruptStart:
+      disturber(ev.target).config().corrupt_prob = ev.disturb.corrupt_prob;
+      counters_.inc("corrupt_starts");
+      break;
+    case FaultKind::kCorruptStop:
+      disturber(ev.target).config().corrupt_prob = 0.0;
+      counters_.inc("corrupt_stops");
+      break;
+    case FaultKind::kControlLossStart:
+      topo_->group_router(ev.target).set_control_classifier(
+          control_classifier);
+      disturber(ev.target).config().control_loss_prob =
+          ev.disturb.control_loss_prob;
+      counters_.inc("control_loss_starts");
+      break;
+    case FaultKind::kControlLossStop:
+      disturber(ev.target).config().control_loss_prob = 0.0;
+      counters_.inc("control_loss_stops");
+      break;
+    case FaultKind::kJitterStart:
+      disturber(ev.target).config().jitter = ev.disturb.jitter;
+      counters_.inc("jitter_starts");
+      break;
+    case FaultKind::kJitterStop:
+      disturber(ev.target).config().jitter = 0;
+      counters_.inc("jitter_stops");
+      break;
   }
+}
+
+Disturber& FaultInjector::disturber(std::size_t group) {
+  // One disturber per group router, seeded from its own named substream
+  // on first use; behaviors patch its config in place, so stop/start
+  // pairs never reset the RNG position of other armed behaviors.
+  return topo_->group_router(group).ensure_disturb(sim::substream_seed(
+      seed_, "fault/disturb:router:" + std::to_string(group)));
 }
 
 }  // namespace hrmc::net

@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "net/disturb.hpp"
 #include "net/loss.hpp"
 #include "net/topology.hpp"
 #include "sim/scheduler.hpp"
@@ -37,15 +38,31 @@ enum class FaultKind {
   kHeal,
   kBurstLossStart,   ///< Gilbert–Elliott loss on the target group router
   kBurstLossStop,
+
+  // Adversarial disturbances (chaos engine): each start patches one
+  // behavior of the target group router's Disturber, each stop zeroes
+  // it. The disturber (and its RNG substream) is created on first use
+  // and survives stops, so re-arming a behavior never replays draws.
+  kReorderStart,     ///< hold a random subset of packets back
+  kReorderStop,
+  kDuplicateStart,   ///< forward a random subset twice
+  kDuplicateStop,
+  kCorruptStart,     ///< flip one byte in a random subset
+  kCorruptStop,
+  kControlLossStart, ///< drop control-plane packets only
+  kControlLossStop,
+  kJitterStart,      ///< uniform extra delay on every packet
+  kJitterStop,
 };
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kReceiverCrash;
   sim::SimTime at = 0;
   /// Receiver index (crash/restart/link events) or group index
-  /// (partition/heal/burst-loss events).
+  /// (partition/heal/burst-loss/disturbance events).
   std::size_t target = 0;
   GilbertElliottConfig ge;  ///< kBurstLossStart only
+  DisturbConfig disturb;    ///< k*Start disturbance events only
 };
 
 /// Declarative event list. The chainable builders exist so scenarios
@@ -66,6 +83,17 @@ struct FaultPlan {
   FaultPlan& burst_loss(std::size_t group, sim::SimTime at,
                         const GilbertElliottConfig& ge);
   FaultPlan& burst_loss_stop(std::size_t group, sim::SimTime at);
+  FaultPlan& reorder(std::size_t group, sim::SimTime at, double prob,
+                     sim::SimTime hold);
+  FaultPlan& reorder_stop(std::size_t group, sim::SimTime at);
+  FaultPlan& duplicate(std::size_t group, sim::SimTime at, double prob);
+  FaultPlan& duplicate_stop(std::size_t group, sim::SimTime at);
+  FaultPlan& corrupt(std::size_t group, sim::SimTime at, double prob);
+  FaultPlan& corrupt_stop(std::size_t group, sim::SimTime at);
+  FaultPlan& control_loss(std::size_t group, sim::SimTime at, double prob);
+  FaultPlan& control_loss_stop(std::size_t group, sim::SimTime at);
+  FaultPlan& jitter(std::size_t group, sim::SimTime at, sim::SimTime max);
+  FaultPlan& jitter_stop(std::size_t group, sim::SimTime at);
 };
 
 class FaultInjector {
@@ -87,6 +115,11 @@ class FaultInjector {
   std::function<void(std::size_t)> on_receiver_crash;
   std::function<void(std::size_t)> on_receiver_restart;
 
+  /// Control-packet classifier for kControlLossStart, installed on the
+  /// target router when the event fires. Supplied by the harness (which
+  /// can parse protocol headers); net stays protocol-agnostic.
+  ControlClassifier control_classifier = nullptr;
+
   [[nodiscard]] const sim::CounterSet& counters() const { return counters_; }
 
   /// Attaches a trace sink; down/up events are emitted on behalf of the
@@ -97,6 +130,7 @@ class FaultInjector {
 
  private:
   void fire(const FaultEvent& ev);
+  Disturber& disturber(std::size_t group);
 
   trace::TraceSink trace_;
 

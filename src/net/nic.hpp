@@ -15,6 +15,7 @@
 #include <string>
 
 #include "kern/jiffies.hpp"
+#include "net/disturb.hpp"
 #include "net/loss.hpp"
 #include "net/sink.hpp"
 #include "sim/random.hpp"
@@ -79,6 +80,19 @@ class Nic final : public PacketSink {
   }
   void clear_burst_loss() { burst_loss_.reset(); }
 
+  /// Adversarial behaviors on the receive path (reorder/duplicate/
+  /// corrupt/control-loss/jitter), mirroring Router::ensure_disturb but
+  /// *uncorrelated*: each NIC disturbs its own copy after fan-out.
+  Disturber& ensure_disturb(std::uint64_t seed) {
+    if (!disturb_) disturb_.emplace(seed);
+    return *disturb_;
+  }
+  void clear_disturb() { disturb_.reset(); }
+  [[nodiscard]] Disturber* disturb() {
+    return disturb_ ? &*disturb_ : nullptr;
+  }
+  void set_control_classifier(ControlClassifier c) { classify_control_ = c; }
+
   [[nodiscard]] const sim::CounterSet& counters() const { return counters_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const NicConfig& config() const { return cfg_; }
@@ -111,6 +125,8 @@ class Nic final : public PacketSink {
   bool tx_busy_ = false;
   bool link_up_ = true;
   std::optional<GilbertElliott> burst_loss_;
+  std::optional<Disturber> disturb_;
+  ControlClassifier classify_control_ = nullptr;
   std::int64_t burst_jiffy_ = -1;
   std::size_t burst_count_ = 0;
   std::size_t burst_prev_ = 0;

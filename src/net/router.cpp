@@ -59,6 +59,37 @@ void Router::deliver(kern::SkBuffPtr skb) {
                 static_cast<std::uint32_t>(trace::DropReason::kBurstLoss));
     return;
   }
+  // Adversarial disturbances (chaos engine): decided at ingress, like
+  // the loss draws, so every downstream receiver sees the same
+  // corruption/duplicate/hold.
+  if (disturb_ && disturb_->config().any()) {
+    if (disturb_->drop_control(*skb, classify_control_)) {
+      counters_.inc("control_loss_drops");
+      trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                  static_cast<std::uint32_t>(trace::DropReason::kControlLoss));
+      return;
+    }
+    if (disturb_->corrupt(*skb)) {
+      counters_.inc("corrupted");
+      trace_.emit(trace::EventKind::kCorrupt, 0, 0, skb->wire_size());
+    }
+    if (disturb_->duplicate()) {
+      counters_.inc("duplicated");
+      route(skb->clone());
+    }
+    const sim::SimTime hold = disturb_->extra_delay();
+    if (hold > 0) {
+      counters_.inc("held");
+      sched_->schedule_after(hold, [this, skb = std::move(skb)]() mutable {
+        route(std::move(skb));
+      });
+      return;
+    }
+  }
+  route(std::move(skb));
+}
+
+void Router::route(kern::SkBuffPtr skb) {
   if (is_multicast(skb->daddr)) {
     auto it = groups_.find(skb->daddr);
     if (it == groups_.end() || it->second.empty()) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/addr.hpp"
+#include "net/disturb.hpp"
 #include "net/loss.hpp"
 #include "net/sink.hpp"
 #include "sim/random.hpp"
@@ -74,6 +75,25 @@ class Router final : public PacketSink {
   }
   void clear_burst_loss() { burst_loss_.reset(); }
 
+  /// Adversarial link behaviors (reorder/duplicate/corrupt/control-loss/
+  /// jitter), applied at ingress after the loss draws and before fan-out
+  /// so a disturbance is correlated across downstream receivers, like
+  /// the loss models. Creates the disturber (with its own RNG substream)
+  /// on first call; later calls return the same instance so a fault plan
+  /// can patch individual behaviors without resetting the others' draws.
+  Disturber& ensure_disturb(std::uint64_t seed) {
+    if (!disturb_) disturb_.emplace(seed);
+    return *disturb_;
+  }
+  void clear_disturb() { disturb_.reset(); }
+  [[nodiscard]] Disturber* disturb() {
+    return disturb_ ? &*disturb_ : nullptr;
+  }
+
+  /// Protocol-aware control-packet classifier for control-plane-only
+  /// loss (net stays protocol-agnostic; the harness supplies this).
+  void set_control_classifier(ControlClassifier c) { classify_control_ = c; }
+
   [[nodiscard]] const sim::CounterSet& counters() const { return counters_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   /// Total packets queued across all egress ports.
@@ -90,6 +110,10 @@ class Router final : public PacketSink {
 
   void enqueue(PacketSink* egress, kern::SkBuffPtr skb);
   void service(PacketSink* egress, Port& port);
+  /// Forwarding stage (multicast fan-out / unicast route lookup), split
+  /// from deliver() so a disturbed packet can be re-injected here after
+  /// its reorder hold without re-running the ingress loss draws.
+  void route(kern::SkBuffPtr skb);
 
   sim::Scheduler* sched_;
   std::string name_;
@@ -97,6 +121,8 @@ class Router final : public PacketSink {
   sim::Rng loss_rng_;
   bool down_ = false;
   std::optional<GilbertElliott> burst_loss_;
+  std::optional<Disturber> disturb_;
+  ControlClassifier classify_control_ = nullptr;
 
   std::unordered_map<Addr, PacketSink*> routes_;
   std::unordered_map<Addr, std::vector<PacketSink*>> groups_;

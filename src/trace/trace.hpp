@@ -73,6 +73,7 @@ enum class EventKind : std::uint8_t {
   kEnqueue = 40,     ///< router egress enqueue; value = wire size
   kDrop = 41,        ///< packet dropped; value = wire size, aux = reason
   kDeviceFull = 42,  ///< tx ring / egress queue full; aux = queue len
+  kCorrupt = 43,     ///< packet corrupted in flight; value = wire size
 
   // Fault layer (net::FaultInjector).
   kDown = 50,  ///< target went down; aux = FaultKind
@@ -90,6 +91,7 @@ enum class DropReason : std::uint32_t {
   kLinkDown = 6,
   kNoRoute = 7,     ///< no unicast route / empty multicast fan-out
   kOverrun = 8,     ///< NIC card FIFO overrun model
+  kControlLoss = 9, ///< control-plane-only loss (chaos disturbance)
 };
 
 /// Stable name for a kind (JSONL dump / debugging). "?" when unknown.

@@ -44,6 +44,7 @@ const char* kind_name(EventKind k) {
     case EventKind::kEnqueue: return "enqueue";
     case EventKind::kDrop: return "drop";
     case EventKind::kDeviceFull: return "device_full";
+    case EventKind::kCorrupt: return "corrupt";
     case EventKind::kDown: return "down";
     case EventKind::kUp: return "up";
   }

@@ -1,0 +1,191 @@
+// The chaos engine itself: deterministic generation, repro-file
+// round-tripping, the pinned seed block the oracle must clear, and the
+// full find → shrink → replay loop on an injected failure.
+#include "harness/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/fault.hpp"
+
+namespace hrmc::harness {
+namespace {
+
+TEST(Chaos, GenerateSpecIsDeterministic) {
+  for (std::uint64_t seed : {1ull, 42ull, 337ull, 496ull, 99999ull}) {
+    const ChaosSpec a = generate_spec(seed);
+    const ChaosSpec b = generate_spec(seed);
+    // Serialized form is exact (doubles print round-trip), so string
+    // equality is spec equality.
+    EXPECT_EQ(serialize_spec(a), serialize_spec(b)) << "seed=" << seed;
+  }
+}
+
+TEST(Chaos, GeneratedFaultsAlwaysCarryRecovery) {
+  // Survivable-by-construction: every onset has its recovery partner in
+  // the plan, targeting the same entity, at a later or equal time.
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const ChaosSpec s = generate_spec(seed);
+    for (const net::FaultEvent& ev : s.faults) {
+      const bool onset = ev.kind == net::FaultKind::kReceiverCrash ||
+                         ev.kind == net::FaultKind::kLinkDown ||
+                         ev.kind == net::FaultKind::kPartition ||
+                         ev.kind == net::FaultKind::kBurstLossStart ||
+                         ev.kind == net::FaultKind::kReorderStart ||
+                         ev.kind == net::FaultKind::kDuplicateStart ||
+                         ev.kind == net::FaultKind::kCorruptStart ||
+                         ev.kind == net::FaultKind::kControlLossStart ||
+                         ev.kind == net::FaultKind::kJitterStart;
+      if (!onset) continue;
+      bool recovered = false;
+      for (const net::FaultEvent& other : s.faults) {
+        if (other.target == ev.target && other.at >= ev.at &&
+            static_cast<int>(other.kind) == static_cast<int>(ev.kind) + 1) {
+          recovered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(recovered)
+          << "seed=" << seed << " kind=" << static_cast<int>(ev.kind);
+    }
+  }
+}
+
+TEST(Chaos, SerializeParseRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const ChaosSpec s = generate_spec(seed);
+    const std::string text = serialize_spec(s);
+    const auto back = parse_spec(text);
+    ASSERT_TRUE(back.has_value()) << "seed=" << seed;
+    EXPECT_EQ(serialize_spec(*back), text) << "seed=" << seed;
+  }
+}
+
+TEST(Chaos, ParseToleratesCommentsAndBlankLines) {
+  const ChaosSpec s = generate_spec(7);
+  std::string text = serialize_spec(s);
+  text += "# trailing comment like the sweep driver writes\n\n";
+  const auto back = parse_spec(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(serialize_spec(*back), serialize_spec(s));
+}
+
+TEST(Chaos, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(parse_spec("").has_value());
+  EXPECT_FALSE(parse_spec("not-a-repro\nseed 1\n").has_value());
+  const std::string good = serialize_spec(generate_spec(3));
+  EXPECT_FALSE(parse_spec(good + "mystery_key 42\n").has_value());
+  EXPECT_FALSE(
+      parse_spec("hrmc-chaos-repro v1\ngroup 2 1\neviction 9\n").has_value());
+  EXPECT_FALSE(
+      parse_spec("hrmc-chaos-repro v1\ngroup 2 1\nfault 99 0 0\n").has_value());
+  // No topology at all: nothing to run.
+  EXPECT_FALSE(parse_spec("hrmc-chaos-repro v1\nseed 5\n").has_value());
+}
+
+TEST(Chaos, PinnedSeedBlockPassesOracle) {
+  // A slice of the CI chaos-smoke block. Any failure here is a protocol
+  // regression (or a new oracle false positive — both need a human).
+  const auto outcomes = sweep(1, 120);
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.verdict.ok)
+        << "seed " << o.seed << ": " << o.verdict.failure;
+  }
+}
+
+TEST(Chaos, JudgeIsDeterministic) {
+  const ChaosSpec s = generate_spec(17);
+  const ChaosVerdict a = judge(s);
+  const ChaosVerdict b = judge(s);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.failure, b.failure);
+}
+
+/// An unrecovered crash under kStall: the window stalls forever, the
+/// sender cannot finish, and the oracle must say so. (The generator
+/// never emits this — it is the injected failure for the shrinker.)
+ChaosSpec unrecovered_crash_spec() {
+  ChaosSpec s;
+  s.seed = 424242;
+  s.network_bps = 10e6;
+  s.file_bytes = 128 * 1024;
+  s.kernel_buf = 64 * 1024;
+  s.eviction = proto::EvictionPolicy::kStall;
+  s.time_limit = sim::seconds(10);
+  s.group_kind = {0, 0};
+  s.group_receivers = {2, 1};
+  net::FaultPlan plan;
+  plan.crash(1, sim::milliseconds(60));
+  s.faults = plan.events;
+  return s;
+}
+
+TEST(Chaos, InjectedFailureShrinksToDeterministicRepro) {
+  const ChaosSpec failing = unrecovered_crash_spec();
+  const ChaosVerdict v = judge(failing);
+  ASSERT_FALSE(v.ok);
+
+  const ChaosSpec small = shrink(failing, 60);
+  // The crash is load-bearing, so the shrinker cannot drop it; the
+  // stream and the topology both shrink to their floors.
+  ASSERT_EQ(small.faults.size(), 1u);
+  EXPECT_EQ(small.faults[0].kind, net::FaultKind::kReceiverCrash);
+  EXPECT_EQ(small.file_bytes, 4096u);
+  EXPECT_LT(small.receiver_count(), failing.receiver_count());
+
+  // The shrunk spec still fails, for the same reason, every time.
+  const ChaosVerdict s1 = judge(small);
+  const ChaosVerdict s2 = judge(small);
+  ASSERT_FALSE(s1.ok);
+  EXPECT_EQ(s1.failure, s2.failure);
+  EXPECT_EQ(s1.failure, v.failure);
+
+  // And the written repro replays bit-identically after a round trip.
+  const auto reparsed = parse_spec(serialize_spec(small));
+  ASSERT_TRUE(reparsed.has_value());
+  const ChaosVerdict s3 = judge(*reparsed);
+  ASSERT_FALSE(s3.ok);
+  EXPECT_EQ(s3.failure, s1.failure);
+}
+
+TEST(Chaos, ShrinkSanitizesFaultTargetsWhenDroppingReceivers) {
+  // The crash targets the last receiver; dropping that receiver must
+  // also drop the fault (a shrunk spec never trips arm-time validation)
+  // — which makes the scenario pass, so the shrinker keeps the receiver
+  // and the repro stays valid.
+  ChaosSpec s = unrecovered_crash_spec();
+  s.group_kind = {0};
+  s.group_receivers = {3};
+  net::FaultPlan plan;
+  plan.crash(2, sim::milliseconds(60));
+  s.faults = plan.events;
+  const ChaosSpec small = shrink(s, 40);
+  ASSERT_EQ(small.faults.size(), 1u);
+  EXPECT_LT(small.faults[0].target, small.receiver_count());
+  ASSERT_FALSE(judge(small).ok);
+}
+
+TEST(Chaos, JoinLossRaceRegression) {
+  // Chaos seed 496 (found by the sweep): group-C baseline loss ate the
+  // receiver's initial JOIN, the whole short transfer ran against an
+  // empty member table, and the sender released everything RMC-style —
+  // the receiver's late NAK then earned NAK_ERR and a stream error. The
+  // receiver now re-JOINs after an RTO once DATA arrives while it is
+  // still unjoined; this pins both the fix and the chaos spec shape.
+  ChaosSpec s;
+  s.seed = 496;
+  s.network_bps = 100e6;
+  s.file_bytes = 65536;
+  s.kernel_buf = 131072;
+  s.eviction = proto::EvictionPolicy::kEvict;
+  s.group_kind = {2};
+  s.group_receivers = {1};
+  const RunResult r = run_transfer(to_scenario(s));
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.any_stream_error);
+  EXPECT_GE(r.receivers_total.join_fast_retries, 1u);
+  const ChaosVerdict v = judge_result(s, r);
+  EXPECT_TRUE(v.ok) << v.failure;
+}
+
+}  // namespace
+}  // namespace hrmc::harness

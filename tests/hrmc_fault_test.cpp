@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "harness/scenario.hpp"
+#include "net/fault.hpp"
+#include "net/topology.hpp"
 
 namespace hrmc::harness {
 namespace {
@@ -203,6 +205,115 @@ TEST(Fault, EmptyPlanMatchesNoPlan) {
   EXPECT_EQ(a.elapsed, b.elapsed);
   EXPECT_EQ(a.sender.data_packets_sent, b.sender.data_packets_sent);
   EXPECT_EQ(a.receivers_total.naks_sent, b.receivers_total.naks_sent);
+}
+
+// --- Event-ordering edge cases (chaos hardening) ----------------------
+//
+// Equal-time events fire in plan order (the scheduler breaks timestamp
+// ties FIFO), and state-transition events are idempotent: a duplicate
+// crash / restart / heal is a no-op — no counter, no trace mark, no
+// protocol callback. Both contracts are what make generated and shrunk
+// chaos plans well-defined.
+
+struct InjectorRig {
+  sim::Scheduler sched;
+  net::Topology topo;
+  explicit InjectorRig(int receivers = 2)
+      : topo(sched, [&] {
+          net::TopologyConfig tcfg;
+          tcfg.seed = 11;
+          tcfg.groups = {net::group_a(receivers)};
+          return tcfg;
+        }()) {}
+};
+
+TEST(Fault, PartitionThenHealAtSameInstantEndsHealed) {
+  InjectorRig rig;
+  net::FaultPlan plan;
+  plan.partition(0, sim::milliseconds(100)).heal(0, sim::milliseconds(100));
+  net::FaultInjector inj(rig.sched, rig.topo, plan, 9);
+  inj.arm();
+  rig.sched.run_until(sim::milliseconds(200));
+  EXPECT_EQ(inj.counters().get("partitions"), 1u);
+  EXPECT_EQ(inj.counters().get("heals"), 1u);
+  EXPECT_FALSE(rig.topo.group_router(0).is_down());
+}
+
+TEST(Fault, HealThenPartitionAtSameInstantEndsPartitioned) {
+  // Reversed plan order at the same timestamp: the heal fires first
+  // against an unpartitioned router (a no-op), then the partition
+  // applies. FIFO tie-break makes the outcome a function of the plan,
+  // not of hash order.
+  InjectorRig rig;
+  net::FaultPlan plan;
+  plan.heal(0, sim::milliseconds(100)).partition(0, sim::milliseconds(100));
+  net::FaultInjector inj(rig.sched, rig.topo, plan, 9);
+  inj.arm();
+  rig.sched.run_until(sim::milliseconds(200));
+  EXPECT_EQ(inj.counters().get("heals"), 0u);  // no-op: nothing to heal
+  EXPECT_EQ(inj.counters().get("partitions"), 1u);
+  EXPECT_TRUE(rig.topo.group_router(0).is_down());
+}
+
+TEST(Fault, DuplicateCrashAndRestartAreIdempotent) {
+  InjectorRig rig;
+  net::FaultPlan plan;
+  plan.crash(0, sim::milliseconds(100))
+      .crash(0, sim::milliseconds(110))
+      .restart(0, sim::milliseconds(120))
+      .restart(0, sim::milliseconds(130));
+  net::FaultInjector inj(rig.sched, rig.topo, plan, 9);
+  int crash_calls = 0;
+  int restart_calls = 0;
+  inj.on_receiver_crash = [&](std::size_t) { ++crash_calls; };
+  inj.on_receiver_restart = [&](std::size_t) { ++restart_calls; };
+  inj.arm();
+  rig.sched.run_until(sim::milliseconds(200));
+  // One real transition each way; the duplicates were no-ops all the
+  // way down — counters, protocol callbacks, and host state agree.
+  EXPECT_EQ(inj.counters().get("crashes"), 1u);
+  EXPECT_EQ(inj.counters().get("restarts"), 1u);
+  EXPECT_EQ(crash_calls, 1);
+  EXPECT_EQ(restart_calls, 1);
+  EXPECT_FALSE(rig.topo.receiver(0).is_down());
+}
+
+TEST(Fault, DuplicateLinkEventsAreIdempotent) {
+  InjectorRig rig;
+  net::FaultPlan plan;
+  plan.link_down(1, sim::milliseconds(100))
+      .link_down(1, sim::milliseconds(110))
+      .link_up(1, sim::milliseconds(120))
+      .link_up(1, sim::milliseconds(130));
+  net::FaultInjector inj(rig.sched, rig.topo, plan, 9);
+  inj.arm();
+  rig.sched.run_until(sim::milliseconds(200));
+  EXPECT_EQ(inj.counters().get("link_downs"), 1u);
+  EXPECT_EQ(inj.counters().get("link_ups"), 1u);
+  EXPECT_TRUE(rig.topo.receiver_nic(1).link_up());
+}
+
+TEST(Fault, OverlappingCrashRestartPairsCompleteAndVerify) {
+  // Chaos seed 337 (found by the sweep): two crash/restart pairs for
+  // the same receiver interleaved — crash, crash, restart, restart.
+  // The redundant restart used to emit a bare "up" trace mark with no
+  // resync behind it, re-arming the receiver in the release-safety
+  // checker and flagging a perfectly legal release. Idempotent
+  // transitions keep the trace truthful.
+  Workload wl = small_mem_workload();
+  Scenario sc = lan_scenario(3, 10e6, 256 << 10, wl, 90);
+  sc.topo.groups[0].loss_rate = 0.0;
+  sc.time_limit = sim::seconds(60);
+  sc.faults.crash(1, sim::milliseconds(163))
+      .crash(1, sim::milliseconds(171))
+      .restart(1, sim::milliseconds(187))
+      .restart(1, sim::milliseconds(228));
+  RunResult r = run_transfer(sc);
+  EXPECT_TRUE(r.sender_finished);
+  EXPECT_TRUE(r.verify_ok);
+  EXPECT_FALSE(r.any_stream_error);
+  EXPECT_EQ(r.survivor_count, 3);
+  EXPECT_EQ(r.survivors_completed, 3);
 }
 
 }  // namespace

@@ -450,12 +450,88 @@ TEST_F(SenderTest, ProbeBookkeepingSurvivesSequenceWrap) {
 TEST_F(SenderTest, UnknownFeedbackSenderIsAdopted) {
   make_sender(Config{});
   // UPDATE from a receiver whose JOIN never arrived: adopted as member.
+  // It claims a position ahead of anything sent, so its next_expected is
+  // clamped to snd_nxt — feedback cannot confirm bytes that don't exist.
   inject_from(1, PacketType::kUpdate, Config::kInitialSeq + 100);
   run_for(sim::milliseconds(50));
   EXPECT_EQ(snd_->members().size(), 1u);
   const McMember* m = snd_->members().find(topo_->receiver(1).addr());
   ASSERT_NE(m, nullptr);
-  EXPECT_EQ(m->next_expected, Config::kInitialSeq + 100);
+  EXPECT_EQ(m->next_expected, snd_->snd_nxt());
+  EXPECT_EQ(snd_->stats().feedback_clamped, 1u);
+}
+
+// --- Inbound NAK validation (chaos hardening) -------------------------
+//
+// A NAK is attacker-adjacent input: a corrupted or replayed range must
+// be dropped and counted, never acted on. NAK_ERR stays reserved for
+// genuine RMC-semantics gaps (request for data legitimately released).
+
+TEST_F(SenderTest, NakBeyondHighestSentIsDroppedAndCounted) {
+  make_sender(Config{});
+  inject_from(0, PacketType::kJoin, Config::kInitialSeq);
+  offer(4096);
+  run_for(sim::seconds(1));  // everything offered is on the wire
+  const kern::Seq sent = snd_->snd_sent();
+  // Range starts past the highest byte ever sent: no transmission this
+  // could be a loss signal for. Retransmitting it would send garbage.
+  inject_from(0, PacketType::kNak, Config::kInitialSeq, sent + 1000, 1460);
+  run_for(sim::milliseconds(50));
+  EXPECT_EQ(snd_->stats().naks_invalid, 1u);
+  EXPECT_EQ(snd_->stats().retransmissions, 0u);
+  EXPECT_EQ(snd_->stats().nak_errs_sent, 0u);
+}
+
+TEST_F(SenderTest, NakRangeEndBeyondHighestSentIsDroppedAndCounted) {
+  make_sender(Config{});
+  inject_from(0, PacketType::kJoin, Config::kInitialSeq);
+  offer(4096);
+  run_for(sim::seconds(1));
+  const kern::Seq sent = snd_->snd_sent();
+  // Starts inside the sent range but claims a gap running past it.
+  inject_from(0, PacketType::kNak, Config::kInitialSeq, sent - 100,
+              2000);
+  run_for(sim::milliseconds(50));
+  EXPECT_EQ(snd_->stats().naks_invalid, 1u);
+  EXPECT_EQ(snd_->stats().retransmissions, 0u);
+}
+
+TEST_F(SenderTest, EmptyAndAbsurdNakRangesAreDropped) {
+  make_sender(Config{});
+  inject_from(0, PacketType::kJoin, Config::kInitialSeq);
+  offer(4096);
+  run_for(sim::seconds(1));
+  inject_from(0, PacketType::kNak, Config::kInitialSeq,
+              Config::kInitialSeq, 0);  // zero-length gap
+  inject_from(0, PacketType::kNak, Config::kInitialSeq,
+              Config::kInitialSeq, 0xC0000000u);  // > 2^30: wrapped junk
+  run_for(sim::milliseconds(50));
+  EXPECT_EQ(snd_->stats().naks_invalid, 2u);
+  EXPECT_EQ(snd_->stats().retransmissions, 0u);
+}
+
+TEST_F(SenderTest, StaleNakForConfirmedDataIsDroppedNotErrored) {
+  Config cfg;
+  cfg.minbuf_rtts = 1;  // quick release for the test
+  make_sender(cfg);
+  inject_from(0, PacketType::kJoin, Config::kInitialSeq);
+  offer(2048);
+  snd_->close();
+  run_for(sim::seconds(1));
+  // The member confirms everything; the window releases fully.
+  inject_from(0, PacketType::kUpdate, snd_->snd_nxt());
+  run_for(sim::seconds(5));
+  ASSERT_TRUE(snd_->finished());
+  // A duplicate NAK for data this very member already confirmed (a
+  // reordered leftover, not an RMC reliability gap): dropped and
+  // counted — answering NAK_ERR would make the receiver declare a
+  // bogus stream error.
+  inject_from(0, PacketType::kNak, snd_->snd_nxt(), Config::kInitialSeq,
+              1000);
+  run_for(sim::milliseconds(100));
+  EXPECT_EQ(snd_->stats().naks_stale, 1u);
+  EXPECT_EQ(snd_->stats().nak_errs_sent, 0u);
+  EXPECT_TRUE(tap_[0].of_type(PacketType::kNakErr).empty());
 }
 
 }  // namespace

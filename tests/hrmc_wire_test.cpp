@@ -29,7 +29,8 @@ TEST(Wire, RoundTripAllFields) {
   auto skb = kern::SkBuff::alloc(100, 64);
   std::uint8_t* p = skb->put(10);
   std::iota(p, p + 10, 0);
-  const Header h = sample_header();
+  Header h = sample_header();
+  h.length = 10;  // DATA length must match the payload (decode checks)
   write_header(*skb, h);
   EXPECT_EQ(skb->size(), 30u);
 
@@ -86,6 +87,7 @@ TEST(Wire, UrgAndFinIndependent) {
     for (bool fin : {false, true}) {
       auto skb = kern::SkBuff::alloc(10, 64);
       Header h = sample_header();
+      h.length = 0;  // no payload in this buffer
       h.urg = urg;
       h.fin = fin;
       write_header(*skb, h);
@@ -101,6 +103,7 @@ TEST(Wire, AllElevenTypesRoundTrip) {
   for (int t = 1; t <= 11; ++t) {
     auto skb = kern::SkBuff::alloc(10, 64);
     Header h = sample_header();
+    h.length = 0;  // no payload in this buffer
     h.type = static_cast<PacketType>(t);
     h.fin = false;
     write_header(*skb, h);
@@ -120,7 +123,9 @@ TEST(Wire, PacketTypeNames) {
 
 TEST(Wire, PeekDoesNotStrip) {
   auto skb = kern::SkBuff::alloc(10, 64);
-  write_header(*skb, sample_header());
+  Header h0 = sample_header();
+  h0.length = 0;  // no payload in this buffer
+  write_header(*skb, h0);
   const auto size_before = skb->size();
   auto h = peek_header(*skb);
   ASSERT_TRUE(h.has_value());
