@@ -43,6 +43,10 @@ std::optional<FaultKind> partner_of(FaultKind k) {
     case FaultKind::kControlLossStop: return FaultKind::kControlLossStart;
     case FaultKind::kJitterStart: return FaultKind::kJitterStop;
     case FaultKind::kJitterStop: return FaultKind::kJitterStart;
+    case FaultKind::kTrunkDown: return FaultKind::kTrunkUp;
+    case FaultKind::kTrunkUp: return FaultKind::kTrunkDown;
+    case FaultKind::kWirelessStart: return FaultKind::kWirelessStop;
+    case FaultKind::kWirelessStop: return FaultKind::kWirelessStart;
   }
   return std::nullopt;
 }
@@ -82,8 +86,9 @@ ChaosSpec generate_spec(std::uint64_t seed) {
   // the oracle test the generator, not the protocol).
   const int npairs = static_cast<int>(rng.uniform_int(0, 4));
   bool lossy_faults = false;  // faults that can silence probe traffic
+  bool path_faults = false;   // faults that break a multicast path
   for (int i = 0; i < npairs; ++i) {
-    const auto cat = rng.uniform_int(0, 8);
+    const auto cat = rng.uniform_int(0, 10);
     // Chaos transfers complete in ~100-400 ms of sim time (short files,
     // slow-start dominated), so onsets land across the join phase and
     // the whole transfer, and blackouts are long enough to bite but
@@ -156,14 +161,84 @@ ChaosSpec generate_spec(std::uint64_t seed) {
         lossy_faults = true;
         break;
       }
-      default: {
+      case 8: {
         FaultEvent ev = make_fault(FaultKind::kJitterStart, t0, grp);
         ev.disturb.jitter = sim::milliseconds(1 + rng.uniform_int(0, 19));
         s.faults.push_back(ev);
         s.faults.push_back(make_fault(FaultKind::kJitterStop, t1, grp));
         break;
       }
+      case 9: {
+        // Trunk flap: the whole group loses its path to the backbone,
+        // and routes take a reconvergence window to settle after it
+        // heals (packets blackholed at the router meanwhile).
+        s.faults.push_back(make_fault(FaultKind::kTrunkDown, t0, grp));
+        FaultEvent up = make_fault(FaultKind::kTrunkUp, t1, grp);
+        up.delay = sim::milliseconds(rng.uniform_int(0, 40));
+        s.faults.push_back(up);
+        lossy_faults = true;
+        path_faults = true;
+        break;
+      }
+      default: {
+        // 802.11-style fade window: correlated burst loss with
+        // SNR-like periodic modulation of the fade-entry probability.
+        FaultEvent ev = make_fault(FaultKind::kWirelessStart, t0, grp);
+        ev.wireless.p_good_bad = rng.uniform(0.002, 0.03);
+        ev.wireless.mean_burst = rng.uniform(2.0, 8.0);
+        ev.wireless.loss_bad = rng.uniform(0.5, 1.0);
+        ev.wireless.snr_depth = rng.uniform(0.0, 0.8);
+        ev.wireless.snr_period =
+            sim::milliseconds(100 + rng.uniform_int(0, 900));
+        s.faults.push_back(ev);
+        s.faults.push_back(make_fault(FaultKind::kWirelessStop, t1, grp));
+        lossy_faults = true;
+        break;
+      }
     }
+  }
+
+  // Membership churn: late joins (URG resync to the live stream) and
+  // clean leaves, at most one event per receiver so the per-receiver
+  // open/close schedule stays unambiguous.
+  const int nchurn = static_cast<int>(rng.uniform_int(0, 2));
+  for (int i = 0; i < nchurn; ++i) {
+    ChurnEvent ev;
+    ev.receiver =
+        static_cast<std::size_t>(rng.uniform_int(0, receivers - 1));
+    ev.join = rng.chance(0.5);
+    ev.at = sim::milliseconds(ev.join ? 20 + rng.uniform_int(0, 280)
+                                      : 50 + rng.uniform_int(0, 350));
+    bool dup = false;
+    for (const ChurnEvent& c : s.churn) {
+      if (c.receiver == ev.receiver) dup = true;
+    }
+    if (!dup) s.churn.push_back(ev);
+  }
+  // A churned receiver has its own open/close timeline; crashing or
+  // flapping the same receiver would entangle the two schedules into
+  // scenarios no protocol could be expected to survive (e.g. crash
+  // before a late join). Keep receiver-scoped faults off churned nodes.
+  if (!s.churn.empty()) {
+    std::erase_if(s.faults, [&s](const FaultEvent& ev) {
+      if (!receiver_scoped(ev.kind)) return false;
+      for (const ChurnEvent& c : s.churn) {
+        if (c.receiver == ev.target) return true;
+      }
+      return false;
+    });
+  }
+
+  // Path-breaking faults: arm the receivers' stalled-data watchdog so
+  // the re-graft path is exercised whenever the tree is repaired.
+  if (path_faults) {
+    s.data_stall_timeout = sim::milliseconds(200 + rng.uniform_int(0, 800));
+  }
+  // Flash-crowd admission batching: the t=0 JOIN burst (every receiver
+  // opens at once) plus churn joins exercise the multicast-response
+  // path under a low threshold.
+  if (rng.chance(0.3)) {
+    s.join_batch_threshold = 2 + static_cast<std::size_t>(rng.uniform_int(0, 6));
   }
 
   // Faults that can silence a member's feedback for a while force the
@@ -183,6 +258,94 @@ ChaosSpec generate_spec(std::uint64_t seed) {
   return s;
 }
 
+ChaosSpec generate_soak_spec(std::uint64_t seed) {
+  sim::Rng rng(sim::substream_seed(seed, "chaos/soak"));
+  ChaosSpec s;
+  s.seed = seed;
+  s.network_bps = rng.chance(0.5) ? 10e6 : 100e6;
+  s.file_bytes = (1024u * 1024) << rng.uniform_int(0, 2);  // 1M .. 4M
+  s.kernel_buf = (128u * 1024) << rng.uniform_int(0, 2);   // 128K .. 512K
+  s.eviction = proto::EvictionPolicy::kStall;
+  s.time_limit = sim::seconds(900);
+  s.data_stall_timeout = sim::milliseconds(500 + rng.uniform_int(0, 1500));
+  s.join_batch_threshold = 2 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+
+  const int ngroups = rng.chance(0.5) ? 2 : 1;
+  for (int g = 0; g < ngroups; ++g) {
+    s.group_kind.push_back(static_cast<int>(rng.uniform_int(0, 2)));
+    s.group_receivers.push_back(static_cast<int>(2 + rng.uniform_int(0, 2)));
+  }
+  const auto receivers = static_cast<std::int64_t>(s.receiver_count());
+
+  // Trunk-flap train: repeated down/up with a reconvergence window,
+  // spread across the whole (slowed-down) transfer. Long blackouts are
+  // event-sparse, so they buy sim-hours cheaply.
+  const int nflaps = 2 + static_cast<int>(rng.uniform_int(0, 3));
+  sim::SimTime t = sim::seconds(1 + rng.uniform_int(0, 3));
+  for (int k = 0; k < nflaps; ++k) {
+    const auto grp =
+        static_cast<std::size_t>(rng.uniform_int(0, ngroups - 1));
+    const sim::SimTime down =
+        sim::milliseconds(500 + rng.uniform_int(0, 4500));
+    s.faults.push_back(make_fault(FaultKind::kTrunkDown, t, grp));
+    FaultEvent up = make_fault(FaultKind::kTrunkUp, t + down, grp);
+    up.delay = sim::milliseconds(rng.uniform_int(0, 80));
+    s.faults.push_back(up);
+    t += down + sim::seconds(3 + rng.uniform_int(0, 9));
+  }
+  // Receiver link flaps.
+  const int nlink = static_cast<int>(rng.uniform_int(0, 2));
+  for (int k = 0; k < nlink; ++k) {
+    const auto rcv =
+        static_cast<std::size_t>(rng.uniform_int(0, receivers - 1));
+    const sim::SimTime t0 = sim::seconds(2 + rng.uniform_int(0, 20));
+    const sim::SimTime dur =
+        sim::milliseconds(200 + rng.uniform_int(0, 2800));
+    s.faults.push_back(make_fault(FaultKind::kLinkDown, t0, rcv));
+    s.faults.push_back(make_fault(FaultKind::kLinkUp, t0 + dur, rcv));
+  }
+  // Wireless fade windows.
+  const int nfade = 1 + static_cast<int>(rng.uniform_int(0, 1));
+  for (int k = 0; k < nfade; ++k) {
+    const auto grp =
+        static_cast<std::size_t>(rng.uniform_int(0, ngroups - 1));
+    const sim::SimTime t0 = sim::seconds(1 + rng.uniform_int(0, 15));
+    const sim::SimTime dur = sim::seconds(3 + rng.uniform_int(0, 12));
+    FaultEvent ev = make_fault(FaultKind::kWirelessStart, t0, grp);
+    ev.wireless.p_good_bad = rng.uniform(0.002, 0.02);
+    ev.wireless.mean_burst = rng.uniform(2.0, 6.0);
+    ev.wireless.loss_bad = rng.uniform(0.5, 0.9);
+    ev.wireless.snr_depth = rng.uniform(0.2, 0.8);
+    ev.wireless.snr_period = sim::milliseconds(200 + rng.uniform_int(0, 1800));
+    s.faults.push_back(ev);
+    s.faults.push_back(make_fault(FaultKind::kWirelessStop, t0 + dur, grp));
+  }
+  // Membership churn spread across the run.
+  const int nchurn = 1 + static_cast<int>(rng.uniform_int(0, 3));
+  for (int k = 0; k < nchurn; ++k) {
+    ChurnEvent ev;
+    ev.receiver =
+        static_cast<std::size_t>(rng.uniform_int(0, receivers - 1));
+    ev.join = rng.chance(0.5);
+    ev.at = sim::seconds(1 + rng.uniform_int(0, 25));
+    bool dup = false;
+    for (const ChurnEvent& c : s.churn) {
+      if (c.receiver == ev.receiver) dup = true;
+    }
+    if (!dup) s.churn.push_back(ev);
+  }
+  // Same rule as generate_spec: receiver-scoped faults stay off
+  // churned receivers.
+  std::erase_if(s.faults, [&s](const FaultEvent& ev) {
+    if (!receiver_scoped(ev.kind)) return false;
+    for (const ChurnEvent& c : s.churn) {
+      if (c.receiver == ev.target) return true;
+    }
+    return false;
+  });
+  return s;
+}
+
 Scenario to_scenario(const ChaosSpec& spec) {
   Scenario sc;
   sc.name = "chaos-" + std::to_string(spec.seed);
@@ -199,10 +362,13 @@ Scenario to_scenario(const ChaosSpec& spec) {
   sc.proto.sndbuf = spec.kernel_buf;
   sc.proto.rcvbuf = spec.kernel_buf;
   sc.proto.eviction_policy = spec.eviction;
+  sc.proto.data_stall_timeout = spec.data_stall_timeout;
+  sc.proto.join_batch_threshold = spec.join_batch_threshold;
   sc.workload.file_bytes = spec.file_bytes;
   sc.time_limit = spec.time_limit;
   sc.seed = spec.seed;
   sc.faults.events = spec.faults;
+  sc.churn = spec.churn;
   sc.trace.enabled = true;
   return sc;
 }
@@ -308,6 +474,8 @@ std::string serialize_spec(const ChaosSpec& spec) {
   os << "kernel_buf " << spec.kernel_buf << "\n";
   os << "eviction " << static_cast<int>(spec.eviction) << "\n";
   os << "time_limit " << spec.time_limit << "\n";
+  os << "data_stall_timeout " << spec.data_stall_timeout << "\n";
+  os << "join_batch_threshold " << spec.join_batch_threshold << "\n";
   for (std::size_t g = 0; g < spec.group_kind.size(); ++g) {
     os << "group " << spec.group_kind[g] << " " << spec.group_receivers[g]
        << "\n";
@@ -321,7 +489,17 @@ std::string serialize_spec(const ChaosSpec& spec) {
        << ev.disturb.reorder_hold << " " << fmt_double(ev.disturb.dup_prob)
        << " " << fmt_double(ev.disturb.corrupt_prob) << " "
        << fmt_double(ev.disturb.control_loss_prob) << " "
-       << ev.disturb.jitter << "\n";
+       << ev.disturb.jitter << " " << ev.delay << " "
+       << fmt_double(ev.wireless.p_good_bad) << " "
+       << fmt_double(ev.wireless.mean_burst) << " "
+       << fmt_double(ev.wireless.loss_good) << " "
+       << fmt_double(ev.wireless.loss_bad) << " "
+       << fmt_double(ev.wireless.snr_depth) << " " << ev.wireless.snr_period
+       << " " << fmt_double(ev.wireless.snr_phase) << "\n";
+  }
+  for (const ChurnEvent& ev : spec.churn) {
+    os << "churn " << ev.at << " " << ev.receiver << " " << (ev.join ? 1 : 0)
+       << "\n";
   }
   return os.str();
 }
@@ -353,6 +531,17 @@ std::optional<ChaosSpec> parse_spec(const std::string& text) {
       s.eviction = static_cast<proto::EvictionPolicy>(e);
     } else if (key == "time_limit") {
       ls >> s.time_limit;
+    } else if (key == "data_stall_timeout") {
+      ls >> s.data_stall_timeout;
+    } else if (key == "join_batch_threshold") {
+      ls >> s.join_batch_threshold;
+    } else if (key == "churn") {
+      ChurnEvent ev;
+      int join = 0;
+      ls >> ev.at >> ev.receiver >> join;
+      if (ls.fail() || (join != 0 && join != 1)) return std::nullopt;
+      ev.join = join == 1;
+      s.churn.push_back(ev);
     } else if (key == "group") {
       int kind = 0, n = 0;
       ls >> kind >> n;
@@ -368,8 +557,21 @@ std::optional<ChaosSpec> parse_spec(const std::string& text) {
           ev.disturb.dup_prob >> ev.disturb.corrupt_prob >>
           ev.disturb.control_loss_prob >> ev.disturb.jitter;
       if (ls.fail() || kind < 0 ||
-          kind > static_cast<int>(FaultKind::kJitterStop)) {
+          kind > static_cast<int>(FaultKind::kWirelessStop)) {
         return std::nullopt;
+      }
+      // Extension tail (reconvergence delay + wireless profile), absent
+      // in repros written before those axes existed: all-or-nothing —
+      // a fault line either stops at the jitter field or carries the
+      // full tail.
+      if (ls >> ev.delay) {
+        ls >> ev.wireless.p_good_bad >> ev.wireless.mean_burst >>
+            ev.wireless.loss_good >> ev.wireless.loss_bad >>
+            ev.wireless.snr_depth >> ev.wireless.snr_period >>
+            ev.wireless.snr_phase;
+        if (ls.fail()) return std::nullopt;
+      } else {
+        ls.clear();
       }
       ev.kind = static_cast<FaultKind>(kind);
       s.faults.push_back(ev);
@@ -419,7 +621,27 @@ bool drop_last_receiver(ChaosSpec& s) {
   std::erase_if(s.faults, [&](const FaultEvent& ev) {
     return ev.target >= (receiver_scoped(ev.kind) ? receivers : groups);
   });
+  std::erase_if(s.churn, [&](const ChurnEvent& ev) {
+    return ev.receiver >= receivers;
+  });
   return true;
+}
+
+/// Index of the recovery event paired with onset `i` (same target,
+/// partner kind, not earlier in time); nullopt when `i` is not an onset
+/// or its partner is gone.
+std::optional<std::size_t> partner_index(const ChaosSpec& s, std::size_t i) {
+  const auto partner = partner_of(s.faults[i].kind);
+  if (!partner) return std::nullopt;
+  for (std::size_t j = 0; j < s.faults.size(); ++j) {
+    if (j == i) continue;
+    if (s.faults[j].kind == *partner &&
+        s.faults[j].target == s.faults[i].target &&
+        s.faults[j].at >= s.faults[i].at) {
+      return j;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -442,6 +664,46 @@ ChaosSpec shrink(const ChaosSpec& failing, int max_runs) {
       if (still_fails(cand)) {
         best = std::move(cand);
         progress = true;  // same index now names the next event
+      } else {
+        ++i;
+      }
+    }
+    // Pass 1b: minimize surviving fault windows — walk each pair's
+    // start/stop toward each other (halving the interval), keeping a
+    // candidate only while the oracle still fails. A repro that trips
+    // on a 400 ms blackout often still trips at 50 ms, and the tight
+    // window localizes the bug in the timeline.
+    for (std::size_t i = 0; i < best.faults.size() && runs < max_runs;
+         ++i) {
+      const auto j = partner_index(best, i);
+      if (!j) continue;
+      while (runs < max_runs) {
+        const sim::SimTime window = best.faults[*j].at - best.faults[i].at;
+        if (window < sim::milliseconds(2)) break;
+        ChaosSpec cand = best;
+        cand.faults[*j].at = best.faults[i].at + window / 2;
+        if (still_fails(cand)) {  // pull the recovery earlier
+          best = std::move(cand);
+          progress = true;
+          continue;
+        }
+        cand = best;
+        cand.faults[i].at = best.faults[*j].at - window / 2;
+        if (still_fails(cand)) {  // push the onset later
+          best = std::move(cand);
+          progress = true;
+          continue;
+        }
+        break;
+      }
+    }
+    // Pass 1c: drop churn events one at a time.
+    for (std::size_t i = 0; i < best.churn.size() && runs < max_runs;) {
+      ChaosSpec cand = best;
+      cand.churn.erase(cand.churn.begin() + static_cast<std::ptrdiff_t>(i));
+      if (still_fails(cand)) {
+        best = std::move(cand);
+        progress = true;
       } else {
         ++i;
       }

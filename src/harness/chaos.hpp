@@ -58,6 +58,14 @@ struct ChaosSpec {
   std::vector<int> group_kind;
   std::vector<int> group_receivers;  ///< same length as group_kind
   std::vector<net::FaultEvent> faults;
+  /// Membership churn plan (late joins / clean leaves mid-stream).
+  std::vector<ChurnEvent> churn;
+  /// Receiver stalled-data watchdog (Config::data_stall_timeout);
+  /// enabled by the generator when the plan contains path-breaking
+  /// faults so re-grafting after a repaired flap is exercised.
+  sim::SimTime data_stall_timeout = 0;
+  /// Flash-crowd admission batching (Config::join_batch_threshold).
+  std::size_t join_batch_threshold = 0;
 
   [[nodiscard]] std::size_t receiver_count() const {
     std::size_t n = 0;
@@ -81,6 +89,15 @@ struct ChaosOutcome {
 /// Deterministically generates the scenario for `seed`. Same seed, same
 /// spec — always.
 ChaosSpec generate_spec(std::uint64_t seed);
+
+/// Generates one long "moving network" segment for the soak driver
+/// (examples/soak): a multi-megabyte stream over a topology subjected
+/// to trunk-flap trains with route reconvergence, receiver link flaps,
+/// wireless fade windows, and membership churn — survivable by
+/// construction, like generate_spec, but stretched over tens of sim
+/// seconds so accumulated segments add up to hours-equivalent sim time
+/// cheaply (long blackouts are event-sparse).
+ChaosSpec generate_soak_spec(std::uint64_t seed);
 
 /// Pure mapping onto the experiment harness. Trace capture is enabled
 /// (the oracle needs it for trace::verify).

@@ -75,6 +75,22 @@ RunResult run_transfer(const Scenario& sc) {
     }
   }
 
+  // Membership churn: per-receiver open/close schedule. A late joiner
+  // resyncs to the live position, so (like crash-restart) the skipped
+  // history makes byte-pattern verification meaningless for it; a clean
+  // leaver's delivered prefix is still fully verifiable.
+  std::vector<sim::SimTime> join_at(topo.receiver_count(), -1);
+  std::vector<sim::SimTime> leave_at(topo.receiver_count(), -1);
+  for (const ChurnEvent& ev : sc.churn) {
+    if (ev.receiver >= topo.receiver_count()) continue;
+    if (ev.join) {
+      join_at[ev.receiver] = ev.at;
+    } else {
+      leave_at[ev.receiver] = ev.at;
+      expect_complete[ev.receiver] = false;
+    }
+  }
+
   // Receivers and their applications.
   std::vector<std::unique_ptr<proto::HrmcReceiver>> rcv_socks;
   std::vector<std::unique_ptr<app::SinkApp>> sinks;
@@ -88,11 +104,19 @@ RunResult run_transfer(const Scenario& sc) {
     app::SinkApp::Options opt;
     opt.chunk = sc.workload.chunk;
     opt.read_rate_bps = sc.workload.sink_read_rate_bps;
-    opt.verify = !crashed_ever[i];
+    opt.verify = !crashed_ever[i] && join_at[i] < 0;
     if (sc.workload.disk_sink) opt.disk = sc.workload.disk;
     opt.seed = sim::substream_seed(sc.seed, "sink:" + std::to_string(i));
     sinks.push_back(std::make_unique<app::SinkApp>(*sock, sched, opt));
-    sock->open();
+    proto::HrmcReceiver* raw = sock.get();
+    if (join_at[i] >= 0) {
+      sched.schedule_at(join_at[i], [raw] { raw->open_resync(); });
+    } else {
+      sock->open();
+    }
+    if (leave_at[i] >= 0) {
+      sched.schedule_at(leave_at[i], [raw] { raw->close(); });
+    }
     rcv_socks.push_back(std::move(sock));
   }
 
@@ -234,6 +258,8 @@ RunResult run_transfer(const Scenario& sc) {
     t.join_fast_retries += rs.join_fast_retries;
     t.fec_packets_received += rs.fec_packets_received;
     t.fec_recoveries += rs.fec_recoveries;
+    t.fec_stale_groups += rs.fec_stale_groups;
+    t.stall_rejoins += rs.stall_rejoins;
     if (rcv_socks[i]->stream_error()) res.any_stream_error = true;
     if (sinks[i]->verify_failed()) res.verify_ok = false;
   }

@@ -45,6 +45,17 @@ struct TraceOptions {
   sim::SimTime sample_period = 0;       ///< 0 = no time series
 };
 
+/// Membership churn: one receiver joining or leaving the *running*
+/// stream. A join opens the receiver at `at` via the URG resync path
+/// (late-join semantics: it anchors at the sender's current position
+/// and completes the tail); a leave calls close() at `at` (clean LEAVE
+/// handshake — contrast with crash faults, which just go silent).
+struct ChurnEvent {
+  sim::SimTime at = 0;
+  std::size_t receiver = 0;
+  bool join = false;  ///< true = late join, false = leave
+};
+
 struct Scenario {
   std::string name = "scenario";
   net::TopologyConfig topo;
@@ -54,10 +65,16 @@ struct Scenario {
   /// Sender start offset; receivers open (and JOIN) at t = 0.
   sim::SimTime sender_start = sim::milliseconds(100);
   std::uint64_t seed = 1;
-  /// Injected failures (crashes, flaps, partitions, burst loss). Empty
-  /// by default; an empty plan adds no events and no RNG draws, so
-  /// fault-free runs are bit-identical with or without this field.
+  /// Injected failures (crashes, flaps, partitions, burst loss,
+  /// trunk flaps, wireless fades). Empty by default; an empty plan adds
+  /// no events and no RNG draws, so fault-free runs are bit-identical
+  /// with or without this field.
   net::FaultPlan faults;
+  /// Membership churn plan (empty = all receivers open at t = 0 and
+  /// stay — bit-identical to runs predating this field). A receiver
+  /// with a join event does not open at t = 0; a receiver with a leave
+  /// event is no longer expected to complete the stream.
+  std::vector<ChurnEvent> churn;
   TraceOptions trace;
 };
 

@@ -123,6 +123,21 @@ struct Config {
   /// Cap on the backoff exponent (bounds both the spacing and pow()).
   int probe_backoff_cap = 6;
 
+  // --- Dynamic-network resilience (robustness extension; off by default,
+  // so fault-free runs are bit-identical to the unextended protocol) ---
+  /// Flash-crowd admission batching: when more than this many JOINs land
+  /// within one jiffy of each other, the sender stops unicasting a
+  /// JOIN_RESPONSE per JOIN and instead multicasts a single response on
+  /// the next jiffy — a 10k-JOIN storm inside one RTT costs one O(1)
+  /// table insert per JOIN plus one control packet total. 0 disables.
+  std::size_t join_batch_threshold = 0;
+  /// Receiver stalled-data watchdog: if no DATA / FEC / KEEPALIVE has
+  /// arrived for this long mid-stream, the receiver assumes its branch of
+  /// the tree was repaired around it (link flap, route reconvergence) and
+  /// re-grafts: re-JOINs the group at the IGMP layer and re-sends a
+  /// normal JOIN so the sender refreshes its record. 0 disables.
+  sim::SimTime data_stall_timeout = 0;
+
   // --- Optional extensions (§6 future work; off by default) ---
   /// (1) Early probes: probe receivers when a packet is within this many
   /// RTTs of its release time instead of at release time, avoiding

@@ -28,6 +28,19 @@ McMember* MemberTable::add(net::Addr addr, kern::Seq initial_expected) {
   hash_[b] = m;
 
   ++size_;
+  ++version_;
+  if (size_ == 1) {
+    cached_min_ = initial_expected;
+    min_count_ = 1;
+    min_valid_ = true;
+  } else if (min_valid_) {
+    if (initial_expected == cached_min_) {
+      ++min_count_;
+    } else if (kern::seq_before(initial_expected, cached_min_)) {
+      cached_min_ = initial_expected;
+      min_count_ = 1;
+    }
+  }
   return m;
 }
 
@@ -49,8 +62,12 @@ bool MemberTable::remove(net::Addr addr) {
   if (m->next != nullptr) m->next->prev = m->prev;
   if (head_ == m) head_ = m->next;
 
+  if (min_valid_ && m->next_expected == cached_min_ && --min_count_ == 0) {
+    min_valid_ = false;  // the last slowest member left; rescan lazily
+  }
   delete m;
   --size_;
+  ++version_;
   return true;
 }
 
@@ -74,20 +91,42 @@ void MemberTable::for_each(
   for (const McMember* m = head_; m != nullptr; m = m->next) fn(*m);
 }
 
+bool MemberTable::advance(McMember* m, kern::Seq reported) {
+  if (!kern::seq_before(m->next_expected, reported)) return false;
+  if (min_valid_ && m->next_expected == cached_min_ && --min_count_ == 0) {
+    min_valid_ = false;  // the slowest member moved; rescan lazily
+  }
+  m->next_expected = reported;
+  return true;
+}
+
+void MemberTable::rescan_min() const {
+  ++min_rescans_;
+  min_rescan_work_ += size_;
+  kern::Seq lo = head_->next_expected;
+  std::size_t count = 1;
+  for (const McMember* m = head_->next; m != nullptr; m = m->next) {
+    if (m->next_expected == lo) {
+      ++count;
+    } else if (kern::seq_before(m->next_expected, lo)) {
+      lo = m->next_expected;
+      count = 1;
+    }
+  }
+  cached_min_ = lo;
+  min_count_ = count;
+  min_valid_ = true;
+}
+
 kern::Seq MemberTable::min_next_expected(kern::Seq fallback) const {
   if (head_ == nullptr) return fallback;
-  kern::Seq lo = head_->next_expected;
-  for (const McMember* m = head_->next; m != nullptr; m = m->next) {
-    lo = kern::seq_min(lo, m->next_expected);
-  }
-  return lo;
+  if (!min_valid_) rescan_min();
+  return cached_min_;
 }
 
 bool MemberTable::all_have(kern::Seq seq) const {
-  for (const McMember* m = head_; m != nullptr; m = m->next) {
-    if (kern::seq_before(m->next_expected, seq)) return false;
-  }
-  return true;
+  if (head_ == nullptr) return true;
+  return !kern::seq_before(min_next_expected(0), seq);
 }
 
 }  // namespace hrmc::proto

@@ -17,8 +17,11 @@ using kern::seq_min;
 
 namespace {
 constexpr int kMaxJoinTries = 20;
-constexpr int kMaxLeaveTries = 10;
 constexpr kern::Jiffies kJoinRetryJiffies = 50;  // 0.5 s
+// LEAVE retries never give up (capped exponential backoff instead): a
+// departure lost to a blackout window would otherwise leave a ghost
+// member stalling the sender's window forever under kStall.
+constexpr int kLeaveBackoffCap = 4;  // 50 << 4 jiffies = 8 s between tries
 }  // namespace
 
 HrmcReceiver::HrmcReceiver(net::Host& host, const Config& cfg,
@@ -33,6 +36,7 @@ HrmcReceiver::HrmcReceiver(net::Host& host, const Config& cfg,
       join_timer_(host.scheduler(), [this] { join_timer_fire(); }),
       update_period_(cfg.update_period_init) {
   rcv_wnd_ = rcv_nxt_ = cfg_.initial_seq;
+  fec_anchor_ = cfg_.initial_seq;
 }
 
 HrmcReceiver::~HrmcReceiver() {
@@ -45,10 +49,20 @@ void HrmcReceiver::open() {
   if (sender_addr_ != 0) send_join();
 }
 
+void HrmcReceiver::open_resync() {
+  host_.register_transport(kIpProtoHrmc, this);
+  host_.join_group(group_.addr);
+  resync_pending_ = true;
+  if (sender_addr_ != 0) send_join();
+  // Sender unknown: the resync JOIN goes out from rx() when the first
+  // multicast packet reveals its address, exactly as after restart().
+}
+
 void HrmcReceiver::close() {
   if (join_state_ == JoinState::kLeaving || join_state_ == JoinState::kLeft) {
     return;
   }
+  trace_.emit(trace::EventKind::kLeave, rcv_nxt_, rcv_nxt_, host_.addr());
   host_.leave_group(group_.addr);
   if (sender_addr_ != 0) {
     join_state_ = JoinState::kLeaving;
@@ -151,6 +165,7 @@ void HrmcReceiver::rx(kern::SkBuffPtr skb) {
   if (sender_addr_ == 0 && !net::is_multicast(skb->saddr)) {
     sender_addr_ = skb->saddr;
   }
+  last_activity_at_ = host_.scheduler().now();
   if (resync_pending_) {
     // Post-restart limbo: rcv_nxt_ is a stale pre-crash value, so
     // processing DATA / KEEPALIVE / PROBE against it would emit
@@ -166,6 +181,15 @@ void HrmcReceiver::rx(kern::SkBuffPtr skb) {
     }
     if (h->type != PacketType::kJoinResponse) return;
     process_join_response(*h);
+    return;
+  }
+  if (join_state_ == JoinState::kLeaving || join_state_ == JoinState::kLeft) {
+    // After close() this receiver is a ghost: answering a probe or
+    // emitting an UPDATE would resurrect its membership at the sender
+    // (refresh_member adopts feedback from unknown receivers) and
+    // re-stall the window on a member that will never advance again.
+    // Only the LEAVE handshake completion gets through.
+    if (h->type == PacketType::kLeaveResponse) process_leave_response(*h);
     return;
   }
   if (join_state_ == JoinState::kIdle && sender_addr_ != 0 &&
@@ -464,6 +488,14 @@ void HrmcReceiver::process_fec(const Header& h, kern::SkBuffPtr skb) {
   if (k == 0 || k > 64) return;  // sanity bound
   const Seq span_end = h.seq + h.rate;
   if (seq_before_eq(span_end, rcv_nxt_)) return;  // group fully delivered
+  // Group straddles a resync anchor: its pre-anchor packets were lost
+  // with the crash, yet holds_bytes() vacuously reports them held
+  // (end <= rcv_nxt_), so the missing-packet census below would lie.
+  // Discard the group; ARQ recovers the post-anchor packets.
+  if (seq_before(h.seq, fec_anchor_) && seq_after(span_end, fec_anchor_)) {
+    stats_.fec_stale_groups++;
+    return;
+  }
 
   // Exactly one missing packet is recoverable.
   Seq missing = 0;
@@ -553,6 +585,12 @@ void HrmcReceiver::process_join_response(const Header& h) {
       // current position (JOIN_RESPONSE carries snd_nxt). History
       // before it is abandoned — late-join semantics, not recovery.
       rcv_wnd_ = rcv_nxt_ = h.seq;
+      // Restarting mid-FEC-group: anything cached belongs to the
+      // abandoned pre-crash stream position, and a parity group that
+      // straddles the new anchor can never be trusted (its pre-anchor
+      // packets were lost with the crash).
+      fec_anchor_ = h.seq;
+      fec_cache_.clear();
       resync_pending_ = false;
       ++resyncs_;
       trace_.emit(trace::EventKind::kResync, rcv_nxt_, rcv_nxt_,
@@ -561,6 +599,10 @@ void HrmcReceiver::process_join_response(const Header& h) {
     trace_.emit(trace::EventKind::kJoined, rcv_nxt_, rcv_nxt_, host_.addr());
     rtt_.sample(host_.scheduler().now() - join_sent_at_,
                 /*from_retransmit=*/join_tries_ > 1);
+    // Reset the retry budget: a long-lived connection on a flapping
+    // network re-JOINs many times (stall watchdog), and each handshake
+    // deserves the full budget, not the dregs of every earlier one.
+    join_tries_ = 0;
     join_timer_.del_timer();
     // The Update Generator runs for the life of the H-RMC connection.
     if (cfg_.mode == Mode::kHrmc) {
@@ -646,7 +688,8 @@ void HrmcReceiver::send_join() {
 void HrmcReceiver::send_leave() {
   ++leave_tries_;
   emit(PacketType::kLeave, rcv_nxt_, 0, 0);
-  join_timer_.mod_timer_in(kJoinRetryJiffies);
+  const int shift = std::min(leave_tries_ - 1, kLeaveBackoffCap);
+  join_timer_.mod_timer_in(kJoinRetryJiffies << shift);
 }
 
 void HrmcReceiver::emit(PacketType type, Seq seq, std::uint32_t rate,
@@ -691,7 +734,33 @@ void HrmcReceiver::rearm_nak_timer() {
   nak_timer_.mod_timer_in(j);
 }
 
+void HrmcReceiver::maybe_stall_rejoin(sim::SimTime now) {
+  if (cfg_.data_stall_timeout <= 0 || crashed_ || resync_pending_ ||
+      complete() || join_state_ != JoinState::kJoined) {
+    return;
+  }
+  if (last_activity_at_ < 0 ||
+      now - last_activity_at_ < cfg_.data_stall_timeout) {
+    return;
+  }
+  if (last_stall_rejoin_ >= 0 &&
+      now - last_stall_rejoin_ < cfg_.data_stall_timeout) {
+    return;  // one re-graft per silence window; give it time to work
+  }
+  last_stall_rejoin_ = now;
+  stats_.stall_rejoins++;
+  trace_.emit(trace::EventKind::kRejoin, rcv_nxt_, rcv_nxt_, host_.addr());
+  // A repaired path (link flap healed, routes reconverged) may have been
+  // rebuilt without our branch of the multicast tree. Re-graft at the
+  // IGMP layer (idempotent) and re-send a *normal* JOIN: unlike the URG
+  // resync, our state is intact — history stays NAKable and the stream
+  // resumes where it left off.
+  host_.join_group(group_.addr);
+  send_join();
+}
+
 void HrmcReceiver::update_timer_fire() {
+  maybe_stall_rejoin(host_.scheduler().now());
   send_update();
   if (cfg_.dynamic_update_timer) {
     // §3 "Dynamic Update Timers": probes mean the sender is starved for
@@ -717,11 +786,11 @@ void HrmcReceiver::update_timer_fire() {
 void HrmcReceiver::join_timer_fire() {
   if (join_state_ == JoinState::kJoining && join_tries_ < kMaxJoinTries) {
     send_join();
-  } else if (join_state_ == JoinState::kLeaving &&
-             leave_tries_ < kMaxLeaveTries) {
-    send_leave();
   } else if (join_state_ == JoinState::kLeaving) {
-    join_state_ = JoinState::kLeft;  // give up; the sender timed us out
+    // Keep trying: a reconvergence blackout can outlast any fixed retry
+    // budget, and a LEAVE that never lands strands a ghost member at
+    // the sender. The backoff in send_leave keeps persistence cheap.
+    send_leave();
   }
 }
 

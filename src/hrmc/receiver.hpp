@@ -55,6 +55,13 @@ class HrmcReceiver final : public net::Transport {
   /// sends the JOIN request.
   void open();
 
+  /// Open for a receiver joining an already-running stream (membership
+  /// churn): like open(), but the stream is anchored at the sender's
+  /// *current* position via the URG resync path instead of assuming the
+  /// configured initial sequence — a late joiner wants the live stream,
+  /// not history the sender may have released long ago.
+  void open_resync();
+
   /// Sends LEAVE and unsubscribes. Retries LEAVE until the response
   /// arrives (bounded).
   void close();
@@ -176,6 +183,12 @@ class HrmcReceiver final : public net::Transport {
   void rearm_nak_timer();
   void update_timer_fire();
   void join_timer_fire();
+  /// Stalled-data watchdog (piggybacked on the update timer, active when
+  /// cfg_.data_stall_timeout > 0): prolonged sender silence mid-stream
+  /// means a link flap or route reconvergence may have pruned our branch
+  /// of the multicast tree — re-graft (IGMP re-join) and re-send a
+  /// normal JOIN so the repaired path starts carrying data again.
+  void maybe_stall_rejoin(sim::SimTime now);
 
   [[nodiscard]] sim::SimTime nak_interval() const {
     // Floor at two jiffies: the sender's retransmitter runs on the jiffy
@@ -241,6 +254,13 @@ class HrmcReceiver final : public net::Transport {
   [[nodiscard]] bool holds_bytes(kern::Seq begin, kern::Seq end) const;
   void splice_reconstructed(kern::Seq begin, kern::SkBuffPtr skb);
   std::deque<FecCacheEntry> fec_cache_;
+  /// Stream position of the most recent (re)anchor: initial_seq, moved
+  /// forward by a crash-restart / late-join resync. A parity group that
+  /// straddles it mixes pre-crash history with post-resync data and is
+  /// discarded (see process_fec) — holds_bytes() vacuously reports the
+  /// pre-anchor portion as held, so reconstruction from such a group
+  /// could splice garbage into the stream.
+  kern::Seq fec_anchor_ = 0;
 
   std::optional<kern::Seq> fin_seq_;
   bool complete_reported_ = false;
@@ -266,6 +286,9 @@ class HrmcReceiver final : public net::Transport {
   bool probe_seen_this_period_ = false;
   std::uint32_t last_adv_rate_ = 0;  ///< rate field of the latest DATA
   sim::SimTime last_data_at_ = -1;   ///< arrival time of the latest DATA
+  /// Arrival time of the latest valid packet of any kind (stall watchdog).
+  sim::SimTime last_activity_at_ = -1;
+  sim::SimTime last_stall_rejoin_ = -1;
   sim::SimTime interarrival_ = 0;    ///< EWMA of DATA inter-arrival time
   /// True while handling a PROBE: feedback emitted now is solicited and
   /// carries the URG mark so the sender may time it as a round trip.

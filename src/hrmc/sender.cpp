@@ -29,6 +29,7 @@ HrmcSender::HrmcSender(net::Host& host, const Config& cfg,
       transmit_timer_(host.scheduler(), [this] { transmit_pump(); }),
       retrans_timer_(host.scheduler(), [this] { transmit_pump(); }),
       ka_timer_(host.scheduler(), [this] { keepalive_fire(); }),
+      join_batch_timer_(host.scheduler(), [this] { join_batch_flush(); }),
       ka_period_(cfg.keepalive_init),
       last_forward_send_(host.scheduler().now()) {
   snd_wnd_ = snd_nxt_ = snd_sent_ = cfg_.initial_seq;
@@ -55,6 +56,7 @@ void HrmcSender::stop() {
   transmit_timer_.del_timer();
   retrans_timer_.del_timer();
   ka_timer_.del_timer();
+  join_batch_timer_.del_timer();
 }
 
 // --------------------------------------------------------------------
@@ -392,16 +394,38 @@ sim::SimTime HrmcSender::probe_spacing(const McMember& m) const {
                                    std::pow(cfg_.probe_backoff, exp));
 }
 
+void HrmcSender::refresh_lacking(Seq release_seq) {
+  if (lacking_valid_ && lacking_gate_ == release_seq &&
+      lacking_version_ == members_.version()) {
+    return;
+  }
+  lacking_cache_.clear();
+  members_.for_each([&](McMember& m) {
+    if (seq_before(m.next_expected, release_seq)) {
+      lacking_cache_.push_back(m.addr);
+    }
+  });
+  lacking_gate_ = release_seq;
+  lacking_version_ = members_.version();
+  lacking_valid_ = true;
+  stats_.lacking_rebuilds++;
+}
+
 void HrmcSender::probe_lacking_members(Seq release_seq) {
   const sim::SimTime now = host_.scheduler().now();
 
+  refresh_lacking(release_seq);
   std::vector<McMember*> lacking;
-  members_.for_each([&](McMember& m) {
-    if (seq_before(m.next_expected, release_seq) &&
-        now - m.last_probed >= probe_spacing(m)) {
-      lacking.push_back(&m);
+  std::size_t keep = 0;
+  for (net::Addr addr : lacking_cache_) {
+    McMember* m = members_.find(addr);
+    if (m == nullptr || !seq_before(m->next_expected, release_seq)) {
+      continue;  // caught up (or gone) since the cache was built: compact
     }
-  });
+    lacking_cache_[keep++] = addr;
+    if (now - m->last_probed >= probe_spacing(*m)) lacking.push_back(m);
+  }
+  lacking_cache_.resize(keep);
   if (lacking.empty()) return;
   trace_.emit(trace::EventKind::kProbe, release_seq, release_seq,
               lacking.size());
@@ -444,15 +468,17 @@ bool HrmcSender::resolve_dead_members(Seq release_seq) {
   bool any_dead = false;
   bool live_member_lacking = false;
   std::vector<net::Addr> dead;
-  members_.for_each([&](McMember& m) {
-    if (!seq_before(m.next_expected, release_seq)) return;
-    if (member_dead(m)) {
+  refresh_lacking(release_seq);
+  for (net::Addr addr : lacking_cache_) {
+    McMember* m = members_.find(addr);
+    if (m == nullptr || !seq_before(m->next_expected, release_seq)) continue;
+    if (member_dead(*m)) {
       any_dead = true;
-      dead.push_back(m.addr);
+      dead.push_back(m->addr);
     } else {
       live_member_lacking = true;
     }
-  });
+  }
   if (!any_dead) return false;
 
   if (cfg_.eviction_policy == EvictionPolicy::kEvict) {
@@ -511,6 +537,11 @@ void HrmcSender::rx(kern::SkBuffPtr skb) {
   arm_transmit_timer();
 }
 
+// How long a departed address stays unadoptable. Long enough to outlive
+// any straggler feedback still in flight (queueing + a blackout window),
+// short enough that a silent rejoin-by-feedback eventually works again.
+constexpr sim::SimTime kLeaveTombstone = sim::seconds(5);
+
 McMember* HrmcSender::refresh_member(net::Addr addr, Seq next_expected,
                                      bool solicited) {
   // A receiver cannot expect bytes the sender never assigned: feedback
@@ -522,12 +553,24 @@ McMember* HrmcSender::refresh_member(net::Addr addr, Seq next_expected,
   }
   McMember* m = members_.find(addr);
   if (m == nullptr) {
+    const auto tomb = recently_left_.find(addr);
+    if (tomb != recently_left_.end()) {
+      if (host_.scheduler().now() - tomb->second < kLeaveTombstone) {
+        // Straggler feedback from a receiver that already left (its
+        // LEAVE raced this packet, or the half-closed peer answered a
+        // probe). Re-admitting it would stall the window on a member
+        // that will never advance again.
+        stats_.ghost_feedback_ignored++;
+        return nullptr;
+      }
+      recently_left_.erase(tomb);
+    }
     // Feedback from a receiver whose JOIN we never saw; adopt it rather
     // than lose reliability.
     m = members_.add(addr, next_expected);
   }
   const sim::SimTime now = host_.scheduler().now();
-  m->next_expected = seq_max(m->next_expected, next_expected);
+  members_.advance(m, next_expected);
   m->heard_from = true;
   m->last_heard = now;
   if (m->probe_pending) {
@@ -630,6 +673,7 @@ void HrmcSender::process_nak(const Header& h, net::Addr from) {
   // sample would mis-attribute the old loss as a round trip.
   const bool answers_probe = h.urg;
   McMember* member = refresh_member(from, h.seq, h.urg);
+  if (member == nullptr) return;  // tombstoned ghost: its loss is moot
   // Freshness is judged against the RTO as it stood *before* this NAK's
   // own timing feeds the estimator (a stale bootstrap sample would
   // otherwise inflate the RTO enough to call itself fresh).
@@ -695,7 +739,9 @@ void HrmcSender::process_nak(const Header& h, net::Addr from) {
 
 void HrmcSender::process_control(const Header& h, net::Addr from) {
   stats_.rate_requests_received++;
-  refresh_member(from, h.seq, /*solicited=*/false);
+  if (refresh_member(from, h.seq, /*solicited=*/false) == nullptr) {
+    return;  // tombstoned ghost: its rate demands no longer bind the group
+  }
   const sim::SimTime now = host_.scheduler().now();
   const std::uint32_t rate_before = rate_.rate();
   if (h.urg) {
@@ -726,35 +772,86 @@ void HrmcSender::process_update(const Header& h, net::Addr from) {
 
 void HrmcSender::process_join(const Header& h, net::Addr from) {
   stats_.joins_received++;
+  // An explicit (re-)JOIN always clears the departure tombstone: the
+  // receiver is unambiguously announcing itself, not straggling.
+  recently_left_.erase(from);
   if (h.urg) {
     // Resync JOIN from a crash-restarted receiver: it abandons whatever
-    // history it held and re-enters the stream at the current position,
-    // so its membership record must NOT anchor at its stale h.seq (that
-    // would re-stall the window on data the receiver will never NAK).
+    // history it held, so its membership record must NOT anchor at its
+    // stale h.seq (that would re-stall the window on data the receiver
+    // will never NAK). The handshake must also be *idempotent*: a
+    // retried URG JOIN (first response lost or merely delayed) must
+    // earn the SAME anchor, or the receiver could adopt a late first
+    // response while the sender gates on a newer one — a release-safety
+    // split that lets the window sail past the receiver's position. So
+    // a member the sender still holds keeps its recorded anchor (that
+    // data is still buffered and NAKable under the release gate); only
+    // a genuinely unknown record anchors at the current head.
     stats_.resync_joins_received++;
-    McMember* m = members_.add(from, snd_nxt_);
-    m->next_expected = snd_nxt_;  // force: the member may pre-date the crash
+    McMember* m = members_.find(from);
+    if (m == nullptr) m = members_.add(from, snd_nxt_);
     m->heard_from = true;
     m->last_heard = host_.scheduler().now();
     m->probe_pending = false;
     m->probe_retries = 0;
-    emit_control_packet(PacketType::kJoinResponse, from, snd_nxt_,
+    emit_control_packet(PacketType::kJoinResponse, from, m->next_expected,
                         rate_.rate(), 0, /*urg=*/false, /*fin=*/false);
     return;
   }
-  // A JOIN answers the first data packet the receiver saw: it carries
-  // the only RTT evidence the sender gets from loss-free receivers in
-  // RMC mode (worst-RTT estimation starts here).
-  take_rtt_sample_for(h.seq, host_.scheduler().now());
-  members_.add(from, seq_max(h.seq, cfg_.initial_seq));
+  // Anchor new members at the first data position they reported, never
+  // beyond the stream head (a forged future position would corrupt the
+  // cached release minimum).
+  const Seq anchor = seq_min(seq_max(h.seq, cfg_.initial_seq), snd_nxt_);
+
+  if (cfg_.join_batch_threshold > 0) {
+    // Batched admission: per JOIN we do the O(1) table insert only.
+    // Once a burst exceeds the threshold, the per-JOIN unicast response
+    // (and the O(window) RTT lookup) is replaced by one multicast
+    // JOIN_RESPONSE on the next jiffy — receivers in kJoining accept it
+    // regardless of addressing, so a flash crowd of 10k JOINs inside
+    // one RTT costs 10k inserts plus a single control packet.
+    const sim::SimTime now = host_.scheduler().now();
+    if (now - last_join_at_ > kern::kJiffy) joins_since_flush_ = 0;
+    last_join_at_ = now;
+    ++joins_since_flush_;
+    members_.add(from, anchor);
+    if (join_batch_pending_) return;
+    if (joins_since_flush_ >= cfg_.join_batch_threshold) {
+      join_batch_pending_ = true;
+      join_batch_timer_.mod_timer_in(1);
+      return;
+    }
+  } else {
+    // A JOIN answers the first data packet the receiver saw: it carries
+    // the only RTT evidence the sender gets from loss-free receivers in
+    // RMC mode (worst-RTT estimation starts here).
+    take_rtt_sample_for(h.seq, host_.scheduler().now());
+    members_.add(from, anchor);
+  }
   emit_control_packet(PacketType::kJoinResponse, from, snd_nxt_,
                       rate_.rate(), 0, /*urg=*/false, /*fin=*/false);
+}
+
+void HrmcSender::join_batch_flush() {
+  join_batch_pending_ = false;
+  joins_since_flush_ = 0;
+  emit_control_packet(PacketType::kJoinResponse, group_.addr, snd_nxt_,
+                      rate_.rate(), 0, /*urg=*/false, /*fin=*/false);
+  stats_.join_batch_responses++;
 }
 
 void HrmcSender::process_leave(const Header& h, net::Addr from) {
   (void)h;
   stats_.leaves_received++;
   members_.remove(from);
+  recently_left_[from] = host_.scheduler().now();
+  if (recently_left_.size() >= 4096) {
+    // Keep the tombstone map bounded through a mass-departure storm.
+    const sim::SimTime now = host_.scheduler().now();
+    std::erase_if(recently_left_, [&](const auto& e) {
+      return now - e.second >= kLeaveTombstone;
+    });
+  }
   emit_control_packet(PacketType::kLeaveResponse, from, snd_nxt_, 0, 0);
 }
 

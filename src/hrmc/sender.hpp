@@ -24,6 +24,7 @@
 #include <deque>
 #include <functional>
 #include <span>
+#include <unordered_map>
 
 #include "hrmc/config.hpp"
 #include "hrmc/member.hpp"
@@ -149,6 +150,12 @@ class HrmcSender final : public net::Transport {
   std::uint64_t send_new_data(std::uint64_t budget);
   void try_advance_window();
   void probe_lacking_members(kern::Seq release_seq);
+  /// Rebuilds the cached lacking set when the release gate moved or the
+  /// membership changed; otherwise the cache (compacted incrementally as
+  /// members advance past the gate) is reused, so a probe or eviction
+  /// round over a mostly-caught-up group costs O(still-lacking), not
+  /// O(members) — the "no O(members) scan per event" churn requirement.
+  void refresh_lacking(kern::Seq release_seq);
   /// Dead-member handling at the release gate. Returns true when the
   /// head may release despite incomplete information (members evicted
   /// under kEvict, or every lacking member dead under kRmcFallback).
@@ -192,6 +199,9 @@ class HrmcSender final : public net::Transport {
   void note_forward_activity();
   void maybe_report_finished();
 
+  // Batched membership admission (flash crowds).
+  void join_batch_flush();
+
   // Packet construction.
   void emit_control_packet(PacketType type, net::Addr dst_addr,
                            kern::Seq seq, std::uint32_t rate,
@@ -216,6 +226,13 @@ class HrmcSender final : public net::Transport {
   bool finished_reported_ = false;
 
   MemberTable members_;
+  // Departure tombstones: a LEAVE removes the member, but its feedback
+  // already in flight (or a probe answer from the half-closed peer)
+  // would re-admit it through refresh_member's adoption path — and a
+  // resurrected ghost never advances, stalling the window forever
+  // under kStall. Addresses stay unadoptable for a grace window; an
+  // explicit re-JOIN clears the tombstone immediately.
+  std::unordered_map<net::Addr, sim::SimTime> recently_left_;
   RateController rate_;
   RttEstimator rtt_;
   SenderStats stats_;
@@ -234,6 +251,22 @@ class HrmcSender final : public net::Transport {
   /// incomplete, cleared (and accumulated into stats) when it releases.
   sim::SimTime stall_since_ = -1;
 
+  // Lacking-set cache (see refresh_lacking): member addresses still
+  // below lacking_gate_, valid for one (gate, membership version) pair.
+  std::vector<net::Addr> lacking_cache_;
+  kern::Seq lacking_gate_ = 0;
+  std::uint64_t lacking_version_ = 0;
+  bool lacking_valid_ = false;
+
+  // Join-batching state (active when cfg_.join_batch_threshold > 0):
+  // JOINs arriving in one burst beyond the threshold are answered with
+  // a single multicast JOIN_RESPONSE on the next jiffy instead of a
+  // per-JOIN unicast — a 10k-JOIN flash crowd costs one table insert
+  // per JOIN plus one control packet total, and cannot melt the tx ring.
+  std::size_t joins_since_flush_ = 0;
+  sim::SimTime last_join_at_ = kNever;
+  bool join_batch_pending_ = false;
+
   std::vector<RetransRange> retrans_queue_;
   std::deque<SentLogEntry> sent_log_;
   std::uint64_t budget_carry_ = 0;
@@ -245,6 +278,7 @@ class HrmcSender final : public net::Transport {
   kern::TimerList transmit_timer_;
   kern::TimerList retrans_timer_;
   kern::TimerList ka_timer_;
+  kern::TimerList join_batch_timer_;
   kern::Jiffies ka_period_;
   sim::SimTime last_forward_send_ = 0;
 };

@@ -28,6 +28,11 @@ struct SenderStats {
   std::uint64_t members_evicted = 0;   ///< dead members dropped (kEvict)
   std::uint64_t dead_member_releases = 0;  ///< kRmcFallback forced releases
   std::uint64_t resync_joins_received = 0;  ///< crash-restart rejoins
+  /// Straggler feedback from tombstoned (recently departed) addresses,
+  /// dropped instead of resurrecting the membership record.
+  std::uint64_t ghost_feedback_ignored = 0;
+  std::uint64_t join_batch_responses = 0;  ///< multicast flash-crowd replies
+  std::uint64_t lacking_rebuilds = 0;  ///< full lacking-set recomputations
   /// Total time (SimTime ticks) the send window sat blocked past its
   /// hold time waiting for member information.
   std::int64_t window_stall_time = 0;
@@ -80,9 +85,17 @@ struct ReceiverStats {
   /// (lost JOIN / JOIN_RESPONSE race, chaos hardening).
   std::uint64_t join_fast_retries = 0;
 
+  // Dynamic-network resilience
+  /// Stalled-data re-JOINs: mid-stream re-grafts after data silence
+  /// (link flap / route reconvergence repaired the path around us).
+  std::uint64_t stall_rejoins = 0;
+
   // FEC extension (§6 future work (4))
   std::uint64_t fec_packets_received = 0;
   std::uint64_t fec_recoveries = 0;  ///< packets rebuilt without a NAK
+  /// Partial FEC groups discarded because they straddled a resync anchor
+  /// (crash-restart mid-group must not XOR new payloads into stale state).
+  std::uint64_t fec_stale_groups = 0;
 };
 
 }  // namespace hrmc::proto

@@ -126,6 +126,54 @@ FaultPlan& FaultPlan::jitter_stop(std::size_t group, sim::SimTime at) {
   return *this;
 }
 
+FaultPlan& FaultPlan::trunk_down(std::size_t group, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kTrunkDown, at, group));
+  return *this;
+}
+
+FaultPlan& FaultPlan::trunk_up(std::size_t group, sim::SimTime at,
+                               sim::SimTime reconverge) {
+  FaultEvent ev = make_event(FaultKind::kTrunkUp, at, group);
+  ev.delay = reconverge;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::wireless(std::size_t group, sim::SimTime at,
+                               const WirelessLossConfig& wl) {
+  FaultEvent ev = make_event(FaultKind::kWirelessStart, at, group);
+  ev.wireless = wl;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::wireless_stop(std::size_t group, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kWirelessStop, at, group));
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_flaps(std::size_t receiver, sim::SimTime start,
+                                 sim::SimTime period, sim::SimTime down_time,
+                                 int count) {
+  for (int k = 0; k < count; ++k) {
+    const sim::SimTime at = start + k * period;
+    link_down(receiver, at);
+    link_up(receiver, at + down_time);
+  }
+  return *this;
+}
+
+FaultPlan& FaultPlan::trunk_flaps(std::size_t group, sim::SimTime start,
+                                  sim::SimTime period, sim::SimTime down_time,
+                                  int count, sim::SimTime reconverge) {
+  for (int k = 0; k < count; ++k) {
+    const sim::SimTime at = start + k * period;
+    trunk_down(group, at);
+    trunk_up(group, at + down_time, reconverge);
+  }
+  return *this;
+}
+
 FaultInjector::FaultInjector(sim::Scheduler& sched, Topology& topo,
                              FaultPlan plan, std::uint64_t seed)
     : sched_(&sched), topo_(&topo), plan_(std::move(plan)), seed_(seed) {}
@@ -268,6 +316,44 @@ void FaultInjector::fire(const FaultEvent& ev) {
     case FaultKind::kJitterStop:
       disturber(ev.target).config().jitter = 0;
       counters_.inc("jitter_stops");
+      break;
+    case FaultKind::kTrunkDown:
+      if (topo_->group_router(ev.target).is_down()) break;
+      topo_->group_router(ev.target).set_down(true);
+      counters_.inc("trunk_downs");
+      mark(trace::router_host(ev.target), true);
+      break;
+    case FaultKind::kTrunkUp:
+      if (!topo_->group_router(ev.target).is_down()) break;
+      topo_->group_router(ev.target).set_down(false);
+      // The trunk is physically back but the router has not recomputed
+      // forwarding state yet: black-hole for the reconvergence window.
+      topo_->group_router(ev.target).start_reconvergence(ev.delay);
+      counters_.inc("trunk_ups");
+      mark(trace::router_host(ev.target), false);
+      break;
+    case FaultKind::kWirelessStart:
+      // Per-link instances: every receiver NIC behind the target group
+      // router gets its own model with a distinct RNG substream and a
+      // distinct SNR phase, so fades are bursty per link without being
+      // lockstep across the site.
+      for (std::size_t i = 0; i < topo_->receiver_count(); ++i) {
+        if (topo_->receiver_group(i) != ev.target) continue;
+        WirelessLossConfig wl = ev.wireless;
+        wl.snr_phase += 0.37 * static_cast<double>(i);
+        wl.snr_phase -= static_cast<double>(static_cast<long>(wl.snr_phase));
+        topo_->receiver_nic(i).set_wireless_loss(
+            wl, sim::substream_seed(seed_,
+                                    "fault/wl:nic:" + std::to_string(i)));
+      }
+      counters_.inc("wireless_starts");
+      break;
+    case FaultKind::kWirelessStop:
+      for (std::size_t i = 0; i < topo_->receiver_count(); ++i) {
+        if (topo_->receiver_group(i) != ev.target) continue;
+        topo_->receiver_nic(i).clear_wireless_loss();
+      }
+      counters_.inc("wireless_stops");
       break;
   }
 }

@@ -53,6 +53,13 @@ enum class FaultKind {
   kControlLossStop,
   kJitterStart,      ///< uniform extra delay on every packet
   kJitterStop,
+
+  // Dynamic-network events. Appended (never reordered): the enum's
+  // integer values are the chaos repro wire format.
+  kTrunkDown,        ///< target group's trunk fails (router black-holes)
+  kTrunkUp,          ///< trunk repaired; router reconverges for `delay`
+  kWirelessStart,    ///< 802.11-style wireless loss on the group's NICs
+  kWirelessStop,
 };
 
 struct FaultEvent {
@@ -63,6 +70,9 @@ struct FaultEvent {
   std::size_t target = 0;
   GilbertElliottConfig ge;  ///< kBurstLossStart only
   DisturbConfig disturb;    ///< k*Start disturbance events only
+  /// kTrunkUp only: route-reconvergence window after the trunk returns.
+  sim::SimTime delay = 0;
+  WirelessLossConfig wireless;  ///< kWirelessStart only
 };
 
 /// Declarative event list. The chainable builders exist so scenarios
@@ -94,6 +104,25 @@ struct FaultPlan {
   FaultPlan& control_loss_stop(std::size_t group, sim::SimTime at);
   FaultPlan& jitter(std::size_t group, sim::SimTime at, sim::SimTime max);
   FaultPlan& jitter_stop(std::size_t group, sim::SimTime at);
+  FaultPlan& trunk_down(std::size_t group, sim::SimTime at);
+  /// Trunk repair; the router black-holes for `reconverge` after `at`
+  /// while it recomputes forwarding state.
+  FaultPlan& trunk_up(std::size_t group, sim::SimTime at,
+                      sim::SimTime reconverge = 0);
+  FaultPlan& wireless(std::size_t group, sim::SimTime at,
+                      const WirelessLossConfig& wl);
+  FaultPlan& wireless_stop(std::size_t group, sim::SimTime at);
+
+  /// Flap schedules (per-link and per-trunk): `count` down/up pairs,
+  /// the k-th going down at `start + k*period` and returning `down_time`
+  /// later. Periods shorter than the down time produce overlapping
+  /// pairs, which the injector's idempotent transitions absorb.
+  FaultPlan& link_flaps(std::size_t receiver, sim::SimTime start,
+                        sim::SimTime period, sim::SimTime down_time,
+                        int count);
+  FaultPlan& trunk_flaps(std::size_t group, sim::SimTime start,
+                         sim::SimTime period, sim::SimTime down_time,
+                         int count, sim::SimTime reconverge = 0);
 };
 
 class FaultInjector {

@@ -87,6 +87,12 @@ void Nic::deliver(kern::SkBuffPtr skb) {
                 static_cast<std::uint32_t>(trace::DropReason::kBurstLoss));
     return;
   }
+  if (wireless_loss_ && wireless_loss_->drop(sched_->now())) {
+    counters_.inc("wireless_drops");
+    trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(trace::DropReason::kWireless));
+    return;
+  }
   // Adversarial disturbances (chaos engine): applied after the loss
   // draws, per NIC, so they are *uncorrelated* across receivers —
   // the complement of the router's correlated ingress stage.

@@ -80,6 +80,18 @@ class Nic final : public PacketSink {
   }
   void clear_burst_loss() { burst_loss_.reset(); }
 
+  /// Attaches the 802.11-style wireless loss model to the receive path
+  /// (correlated fade lengths + SNR-like modulation; see loss.hpp).
+  /// Coexists with both the Bernoulli rate and any burst-loss model,
+  /// each on its own RNG stream.
+  void set_wireless_loss(const WirelessLossConfig& wl, std::uint64_t seed) {
+    wireless_loss_.emplace(wl, seed);
+  }
+  void clear_wireless_loss() { wireless_loss_.reset(); }
+  [[nodiscard]] const WirelessLoss* wireless_loss() const {
+    return wireless_loss_ ? &*wireless_loss_ : nullptr;
+  }
+
   /// Adversarial behaviors on the receive path (reorder/duplicate/
   /// corrupt/control-loss/jitter), mirroring Router::ensure_disturb but
   /// *uncorrelated*: each NIC disturbs its own copy after fan-out.
@@ -125,6 +137,7 @@ class Nic final : public PacketSink {
   bool tx_busy_ = false;
   bool link_up_ = true;
   std::optional<GilbertElliott> burst_loss_;
+  std::optional<WirelessLoss> wireless_loss_;
   std::optional<Disturber> disturb_;
   ControlClassifier classify_control_ = nullptr;
   std::int64_t burst_jiffy_ = -1;

@@ -89,7 +89,25 @@ void Router::deliver(kern::SkBuffPtr skb) {
   route(std::move(skb));
 }
 
+void Router::start_reconvergence(sim::SimTime window) {
+  const sim::SimTime until = sched_->now() + window;
+  if (until > reconverging_until_) reconverging_until_ = until;
+}
+
+bool Router::reconverging() const {
+  return sched_->now() < reconverging_until_;
+}
+
 void Router::route(kern::SkBuffPtr skb) {
+  // All forwarding paths funnel through here (including disturbed
+  // packets re-injected after a reorder hold), so the reconvergence
+  // black-hole covers every packet the router would have moved.
+  if (reconverging()) {
+    counters_.inc("reconverge_drops");
+    trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(trace::DropReason::kReconverging));
+    return;
+  }
   if (is_multicast(skb->daddr)) {
     auto it = groups_.find(skb->daddr);
     if (it == groups_.end() || it->second.empty()) {

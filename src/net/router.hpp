@@ -66,6 +66,17 @@ class Router final : public PacketSink {
   void set_down(bool down) { down_ = down; }
   [[nodiscard]] bool is_down() const { return down_; }
 
+  /// Route reconvergence (topology change): after a trunk flap the
+  /// router must recompute its forwarding state before packets flow
+  /// again; until `now + window` everything offered is black-holed
+  /// (counted "reconverge_drops", reason kReconverging). Real routers
+  /// either black-hole or loop during this interval — we model the
+  /// black-hole, which is the harder case for a NAK-based protocol
+  /// because feedback dies with the data. A zero window is a no-op, so
+  /// plans without flaps are bit-identical to builds without this hook.
+  void start_reconvergence(sim::SimTime window);
+  [[nodiscard]] bool reconverging() const;
+
   /// Attaches a Gilbert–Elliott burst-loss model at ingress, alongside
   /// (not replacing) the Bernoulli loss_rate. Like the Bernoulli draw it
   /// runs before multicast fan-out, so a burst loss is correlated across
@@ -120,6 +131,7 @@ class Router final : public PacketSink {
   RouterConfig cfg_;
   sim::Rng loss_rng_;
   bool down_ = false;
+  sim::SimTime reconverging_until_ = 0;
   std::optional<GilbertElliott> burst_loss_;
   std::optional<Disturber> disturb_;
   ControlClassifier classify_control_ = nullptr;

@@ -68,6 +68,8 @@ enum class EventKind : std::uint8_t {
   kUpdatePeriod = 27, ///< period changed; value = new, aux = old (jiffies)
   kOooInsert = 28,    ///< out-of-order segment buffered; [seq range)
   kRegion = 29,       ///< flow-control region change; value = 0/1/2
+  kRejoin = 30,       ///< stalled-data re-JOIN sent; seq = rcv_nxt
+  kLeave = 31,        ///< clean close()/LEAVE; seq = rcv_nxt, value = addr
 
   // Network (net::Router / net::Nic).
   kEnqueue = 40,     ///< router egress enqueue; value = wire size
@@ -92,6 +94,8 @@ enum class DropReason : std::uint32_t {
   kNoRoute = 7,     ///< no unicast route / empty multicast fan-out
   kOverrun = 8,     ///< NIC card FIFO overrun model
   kControlLoss = 9, ///< control-plane-only loss (chaos disturbance)
+  kWireless = 10,   ///< 802.11-style correlated fade (WirelessLoss)
+  kReconverging = 11,  ///< blackholed while the router recomputes routes
 };
 
 /// Stable name for a kind (JSONL dump / debugging). "?" when unknown.

@@ -34,6 +34,8 @@ const char* kind_name(EventKind k) {
     case EventKind::kJoined: return "joined";
     case EventKind::kResyncJoin: return "resync_join";
     case EventKind::kResync: return "resync";
+    case EventKind::kRejoin: return "rejoin";
+    case EventKind::kLeave: return "leave";
     case EventKind::kNakEmit: return "nak";
     case EventKind::kNakSuppress: return "nak_suppress";
     case EventKind::kUpdate: return "update";
@@ -253,6 +255,13 @@ class Verifier {
         // Between restart and re-anchor the receiver's reports are
         // stale; the kJoined/kResync that follows re-arms it.
         rcv(r.host).exempt = true;
+        break;
+      case EventKind::kLeave:
+        // Clean departure (churn): the receiver stops reporting and
+        // stops re-sending NAKs, so it can no longer gate releases or
+        // hold the sender to the NAK-answer bound.
+        rcv(r.host).exempt = true;
+        if (opt_.check_nak) drop_naks(r.host);
         break;
       case EventKind::kUpdate:
       case EventKind::kRateRequest:

@@ -22,9 +22,9 @@ TEST(Chaos, GenerateSpecIsDeterministic) {
 
 TEST(Chaos, GeneratedFaultsAlwaysCarryRecovery) {
   // Survivable-by-construction: every onset has its recovery partner in
-  // the plan, targeting the same entity, at a later or equal time.
-  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
-    const ChaosSpec s = generate_spec(seed);
+  // the plan, targeting the same entity, at a later or equal time —
+  // across both the chaos generator and the soak-segment generator.
+  const auto check = [](const ChaosSpec& s, std::uint64_t seed) {
     for (const net::FaultEvent& ev : s.faults) {
       const bool onset = ev.kind == net::FaultKind::kReceiverCrash ||
                          ev.kind == net::FaultKind::kLinkDown ||
@@ -34,7 +34,9 @@ TEST(Chaos, GeneratedFaultsAlwaysCarryRecovery) {
                          ev.kind == net::FaultKind::kDuplicateStart ||
                          ev.kind == net::FaultKind::kCorruptStart ||
                          ev.kind == net::FaultKind::kControlLossStart ||
-                         ev.kind == net::FaultKind::kJitterStart;
+                         ev.kind == net::FaultKind::kJitterStart ||
+                         ev.kind == net::FaultKind::kTrunkDown ||
+                         ev.kind == net::FaultKind::kWirelessStart;
       if (!onset) continue;
       bool recovered = false;
       for (const net::FaultEvent& other : s.faults) {
@@ -47,6 +49,12 @@ TEST(Chaos, GeneratedFaultsAlwaysCarryRecovery) {
       EXPECT_TRUE(recovered)
           << "seed=" << seed << " kind=" << static_cast<int>(ev.kind);
     }
+  };
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    check(generate_spec(seed), seed);
+  }
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    check(generate_soak_spec(seed), seed);
   }
 }
 

@@ -5,6 +5,8 @@
 // streams.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "harness/scenario.hpp"
 #include "net/fault.hpp"
 #include "net/topology.hpp"
@@ -314,6 +316,62 @@ TEST(Fault, OverlappingCrashRestartPairsCompleteAndVerify) {
   EXPECT_FALSE(r.any_stream_error);
   EXPECT_EQ(r.survivor_count, 3);
   EXPECT_EQ(r.survivors_completed, 3);
+}
+
+TEST(Fault, DuplicateTrunkEventsAreIdempotentAndReconverge) {
+  // Double downs and double ups collapse to one transition each, and
+  // the repair black-holes the router for the reconvergence window.
+  InjectorRig rig;
+  net::FaultPlan plan;
+  plan.trunk_down(0, sim::milliseconds(100))
+      .trunk_down(0, sim::milliseconds(110))
+      .trunk_up(0, sim::milliseconds(200), sim::milliseconds(30))
+      .trunk_up(0, sim::milliseconds(210));
+  net::FaultInjector inj(rig.sched, rig.topo, plan, 9);
+  inj.arm();
+  rig.sched.run_until(sim::milliseconds(150));
+  EXPECT_TRUE(rig.topo.group_router(0).is_down());
+  rig.sched.run_until(sim::milliseconds(220));
+  EXPECT_FALSE(rig.topo.group_router(0).is_down());
+  EXPECT_TRUE(rig.topo.group_router(0).reconverging());  // until 230 ms
+  rig.sched.run_until(sim::milliseconds(240));
+  EXPECT_FALSE(rig.topo.group_router(0).reconverging());
+  EXPECT_EQ(inj.counters().get("trunk_downs"), 1u);
+  EXPECT_EQ(inj.counters().get("trunk_ups"), 1u);
+}
+
+TEST(Fault, WirelessWindowInstallsPerNicModelsAndStopClears) {
+  // One wireless window arms every NIC behind the target group with its
+  // own model — distinct SNR phases so the links do not fade in
+  // lockstep — and the stop event removes them all.
+  InjectorRig rig(3);
+  net::WirelessLossConfig wl;
+  wl.p_good_bad = 0.05;
+  wl.snr_depth = 0.8;
+  wl.snr_period = sim::seconds(1);
+  net::FaultPlan plan;
+  plan.wireless(0, sim::milliseconds(100), wl)
+      .wireless_stop(0, sim::milliseconds(300));
+  net::FaultInjector inj(rig.sched, rig.topo, plan, 9);
+  inj.arm();
+
+  rig.sched.run_until(sim::milliseconds(150));
+  ASSERT_EQ(rig.topo.receiver_count(), 3u);
+  std::vector<double> probs;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const net::WirelessLoss* m = rig.topo.receiver_nic(i).wireless_loss();
+    ASSERT_NE(m, nullptr) << "nic " << i;
+    probs.push_back(m->entry_probability(sim::milliseconds(250)));
+  }
+  EXPECT_NE(probs[0], probs[1]);  // phase-offset decorrelation
+  EXPECT_NE(probs[1], probs[2]);
+  EXPECT_EQ(inj.counters().get("wireless_starts"), 1u);
+
+  rig.sched.run_until(sim::milliseconds(350));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rig.topo.receiver_nic(i).wireless_loss(), nullptr) << i;
+  }
+  EXPECT_EQ(inj.counters().get("wireless_stops"), 1u);
 }
 
 }  // namespace

@@ -197,6 +197,69 @@ TEST_F(FecTest, MalformedParityIgnored) {
   EXPECT_EQ(rcv_->available(), kMss);
 }
 
+TEST_F(FecTest, ResyncDiscardsGroupsStraddlingTheAnchor) {
+  // Crash-restart regression: the pre-crash FEC cache held a partial
+  // group, and after the URG resync re-anchored the stream a parity
+  // packet spanning the anchor could "recover" packets whose true
+  // content died with the crash. The cache must be wiped at resync and
+  // any group straddling the anchor discarded, while fully post-anchor
+  // groups keep working.
+  send_data(0 * kMss);
+  send_data(1 * kMss);
+  send_data(8 * kMss);  // out-of-order: seeds the [8K,12K) FEC group
+  run_for(sim::milliseconds(20));
+  EXPECT_EQ(drain_verify(), 2 * kMss);
+
+  rcv_->crash();
+  run_for(sim::milliseconds(10));
+  rcv_->restart();
+  run_for(sim::milliseconds(10));
+  EXPECT_GE(tap_.count(PacketType::kJoin), 1u);
+
+  // The sender's resync response anchors the stream at offset 10*kMss.
+  const std::uint64_t anchor = 10 * kMss;
+  auto skb = kern::SkBuff::alloc(0, Header::kSize + 44);
+  Header h;
+  h.sport = kPort;
+  h.dport = kPort;
+  h.seq = Config::kInitialSeq + static_cast<kern::Seq>(anchor);
+  h.tries = 1;
+  h.type = PacketType::kJoinResponse;
+  write_header(*skb, h);
+  skb->daddr = topo_->receiver(0).addr();
+  skb->protocol = kIpProtoHrmc;
+  topo_->sender().send(std::move(skb));
+  run_for(sim::milliseconds(10));
+
+  // Parity for [8K,12K) straddles the anchor: its pre-anchor packets
+  // are gone for good, so the group must be dropped, not repaired.
+  send_fec(8 * kMss);
+  run_for(sim::milliseconds(20));
+  EXPECT_EQ(rcv_->stats().fec_stale_groups, 1u);
+  EXPECT_EQ(rcv_->stats().fec_recoveries, 0u);
+
+  // A fully post-anchor group still recovers a single loss.
+  send_data(12 * kMss);
+  send_data(13 * kMss);
+  send_data(15 * kMss);
+  send_fec(12 * kMss);
+  run_for(sim::milliseconds(20));
+  EXPECT_EQ(rcv_->stats().fec_recoveries, 1u);
+
+  // Fill the head and verify the whole post-anchor stream pattern.
+  send_data(10 * kMss);
+  send_data(11 * kMss);
+  run_for(sim::milliseconds(20));
+  std::uint8_t buf[8192];
+  std::uint64_t off = anchor;
+  std::size_t n;
+  while ((n = rcv_->recv(buf)) > 0) {
+    EXPECT_EQ(app::pattern_verify({buf, n}, off), n);
+    off += n;
+  }
+  EXPECT_EQ(off, 16 * kMss);
+}
+
 TEST(FecEndToEnd, SenderEmitsParityEveryKPackets) {
   harness::Workload wl;
   wl.file_bytes = 292 * 1024;  // 1460 * 8 * 25 = 200 full-MSS packets

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
+
+#include "sim/random.hpp"
 
 namespace hrmc::proto {
 namespace {
@@ -90,8 +93,9 @@ TEST(MemberTable, AllHavePredicate) {
   EXPECT_TRUE(t.all_have(299));
   EXPECT_FALSE(t.all_have(301));
   EXPECT_FALSE(t.all_have(501));
-  // Slowest member catches up.
-  t.find(net::make_addr(10, 1, 0, 2))->next_expected = 600;
+  // Slowest member catches up (through the sanctioned mutation path —
+  // a direct field write would corrupt the cached minimum).
+  t.advance(t.find(net::make_addr(10, 1, 0, 2)), 600);
   EXPECT_TRUE(t.all_have(500));
 }
 
@@ -100,6 +104,117 @@ TEST(MemberTable, AllHaveAcrossWraparound) {
   t.add(net::make_addr(10, 1, 0, 1), 0xfffffff0u);
   EXPECT_TRUE(t.all_have(0xffffffe0u));
   EXPECT_FALSE(t.all_have(0x00000010u));  // past the wrap, not yet there
+}
+
+// --- Cached release minimum (flash-crowd scaling) ---------------------
+
+TEST(MemberTable, CachedMinMatchesBruteForceUnderRandomOps) {
+  // Differential test: the cached (min, multiplicity) pair against a
+  // multiset reference through a random add / remove / advance workload.
+  MemberTable t;
+  std::multiset<kern::Seq> ref;
+  std::map<net::Addr, kern::Seq> pos;
+  sim::Rng rng(2024);
+  for (int step = 0; step < 20000; ++step) {
+    const int op = rng.uniform_int(0, 2);
+    if (op == 0 || pos.empty()) {
+      const net::Addr a =
+          net::make_addr(10, 2, rng.uniform_int(0, 3), rng.uniform_int(1, 200));
+      const kern::Seq s = static_cast<kern::Seq>(rng.uniform_int(0, 5000));
+      if (pos.find(a) == pos.end()) {
+        t.add(a, s);
+        ref.insert(s);
+        pos[a] = s;
+      }
+    } else if (op == 1) {
+      auto it = pos.begin();
+      std::advance(it, rng.uniform_int(0, static_cast<int>(pos.size()) - 1));
+      ASSERT_TRUE(t.remove(it->first));
+      ref.erase(ref.find(it->second));
+      pos.erase(it);
+    } else {
+      auto it = pos.begin();
+      std::advance(it, rng.uniform_int(0, static_cast<int>(pos.size()) - 1));
+      const kern::Seq to =
+          it->second + static_cast<kern::Seq>(rng.uniform_int(0, 100));
+      t.advance(t.find(it->first), to);
+      ref.erase(ref.find(it->second));
+      ref.insert(to);
+      it->second = to;
+    }
+    const kern::Seq expect = ref.empty() ? 999u : *ref.begin();
+    ASSERT_EQ(t.min_next_expected(999), expect) << "step " << step;
+  }
+}
+
+TEST(MemberTable, AdvanceAboveMinDoesNotRescan) {
+  // Only the slowest member moving can change the minimum; feedback from
+  // anyone else must be O(1) — this is what makes a feedback storm from
+  // 10k receivers cost 10k table hits, not 10k full scans.
+  MemberTable t;
+  const net::Addr slow = net::make_addr(10, 1, 0, 1);
+  t.add(slow, 100);
+  for (unsigned i = 2; i <= 1000; ++i) {
+    t.add(net::make_addr(10, 1, i / 250, i % 250 + 1), 500);
+  }
+  ASSERT_EQ(t.min_next_expected(0), 100u);  // may rescan once to seed
+  const std::uint64_t rescans = t.min_rescans();
+  for (unsigned i = 2; i <= 1000; ++i) {
+    McMember* m = t.find(net::make_addr(10, 1, i / 250, i % 250 + 1));
+    t.advance(m, 600 + i);
+    ASSERT_EQ(t.min_next_expected(0), 100u);
+  }
+  EXPECT_EQ(t.min_rescans(), rescans);  // not one rescan in 999 advances
+}
+
+TEST(MemberTable, RescanWorkIsAmortizedAcrossCatchUpRounds) {
+  // R full catch-up rounds over N members: the slowest member moves N
+  // times per round, but a rescan only fires when the last member *at*
+  // the minimum leaves it — so total visited work stays O(R * N), far
+  // below the O(R * N^2) of recomputing the min per feedback packet.
+  constexpr unsigned kN = 2000;
+  constexpr unsigned kRounds = 5;
+  MemberTable t;
+  for (unsigned i = 1; i <= kN; ++i) {
+    t.add(net::make_addr(10, 1, i / 250, i % 250 + 1), 0);
+  }
+  for (unsigned round = 1; round <= kRounds; ++round) {
+    for (unsigned i = 1; i <= kN; ++i) {
+      McMember* m = t.find(net::make_addr(10, 1, i / 250, i % 250 + 1));
+      t.advance(m, round * 1000);
+      // The release path consults the min after every feedback packet.
+      ASSERT_EQ(t.min_next_expected(0),
+                i == kN ? round * 1000 : (round - 1) * 1000);
+    }
+  }
+  EXPECT_LE(t.min_rescan_work(), static_cast<std::uint64_t>(kRounds + 2) * kN);
+  EXPECT_LE(t.min_rescans(), kRounds + 2u);
+}
+
+TEST(MemberTable, RemovalOfLastMemberAtMinAdvancesIt) {
+  MemberTable t;
+  t.add(net::make_addr(10, 1, 0, 1), 100);
+  t.add(net::make_addr(10, 1, 0, 2), 100);
+  t.add(net::make_addr(10, 1, 0, 3), 400);
+  ASSERT_EQ(t.min_next_expected(0), 100u);
+  t.remove(net::make_addr(10, 1, 0, 1));
+  EXPECT_EQ(t.min_next_expected(0), 100u);  // one holdout remains
+  t.remove(net::make_addr(10, 1, 0, 2));
+  EXPECT_EQ(t.min_next_expected(0), 400u);
+  t.remove(net::make_addr(10, 1, 0, 3));
+  EXPECT_EQ(t.min_next_expected(777), 777u);  // empty again
+}
+
+TEST(MemberTable, VersionBumpsOnMembershipChangeOnly) {
+  MemberTable t;
+  const std::uint64_t v0 = t.version();
+  McMember* m = t.add(net::make_addr(10, 1, 0, 1), 100);
+  const std::uint64_t v1 = t.version();
+  EXPECT_NE(v1, v0);
+  t.advance(m, 200);  // feedback is not a membership change
+  EXPECT_EQ(t.version(), v1);
+  t.remove(net::make_addr(10, 1, 0, 1));
+  EXPECT_NE(t.version(), v1);
 }
 
 }  // namespace

@@ -166,6 +166,69 @@ TEST(Router, CorrelatedLossIsPreFanout) {
               100.0);
 }
 
+TEST(Router, ReconvergenceBlackholesUntilWindowExpires) {
+  // After a trunk flap the router recomputes forwarding state; until
+  // then every packet — unicast and multicast, both directions — is
+  // black-holed with its own drop reason, then forwarding resumes with
+  // no residue.
+  sim::Scheduler sched;
+  Router r(sched, "r", RouterConfig{}, 1);
+  CaptureSink uni(sched), grp(sched);
+  const Addr dst = make_addr(10, 0, 0, 1);
+  const Addr group = make_addr(224, 1, 1, 1);
+  r.add_route(dst, &uni);
+  r.join_group(group, &grp);
+
+  r.start_reconvergence(sim::milliseconds(50));
+  EXPECT_TRUE(r.reconverging());
+  r.deliver(make_packet(dst));
+  r.deliver(make_packet(group));
+  sched.run_until(sim::milliseconds(40));
+  EXPECT_EQ(uni.packets.size(), 0u);
+  EXPECT_EQ(grp.packets.size(), 0u);
+  EXPECT_EQ(r.counters().get("reconverge_drops"), 2u);
+
+  sched.run_until(sim::milliseconds(60));
+  EXPECT_FALSE(r.reconverging());
+  r.deliver(make_packet(dst));
+  r.deliver(make_packet(group));
+  sched.run_until();
+  EXPECT_EQ(uni.packets.size(), 1u);
+  EXPECT_EQ(grp.packets.size(), 1u);
+  EXPECT_EQ(r.counters().get("reconverge_drops"), 2u);  // no new drops
+}
+
+TEST(Router, ReconvergenceWindowExtendsNeverShortens) {
+  // Overlapping flaps: a second reconvergence start can push the window
+  // out but a shorter one must not pull an in-progress window in.
+  sim::Scheduler sched;
+  Router r(sched, "r", RouterConfig{}, 1);
+  r.start_reconvergence(sim::milliseconds(100));
+  r.start_reconvergence(sim::milliseconds(10));  // no-op: earlier end
+  sched.run_until(sim::milliseconds(50));
+  EXPECT_TRUE(r.reconverging());
+  r.start_reconvergence(sim::milliseconds(100));  // extends to t=150ms
+  sched.run_until(sim::milliseconds(120));
+  EXPECT_TRUE(r.reconverging());
+  sched.run_until(sim::milliseconds(160));
+  EXPECT_FALSE(r.reconverging());
+}
+
+TEST(Router, ZeroReconvergenceWindowIsNoOp) {
+  // A zero window must leave the very next packet deliverable — chaos
+  // plans with delay 0 are bit-identical to plans without the hook.
+  sim::Scheduler sched;
+  Router r(sched, "r", RouterConfig{}, 1);
+  CaptureSink sink(sched);
+  r.add_route(make_addr(10, 0, 0, 1), &sink);
+  r.start_reconvergence(0);
+  EXPECT_FALSE(r.reconverging());
+  r.deliver(make_packet(make_addr(10, 0, 0, 1)));
+  sched.run_until();
+  EXPECT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(r.counters().get("reconverge_drops"), 0u);
+}
+
 TEST(Router, TtlExpiredDrops) {
   sim::Scheduler sched;
   Router r(sched, "r", RouterConfig{}, 1);

@@ -1,0 +1,128 @@
+// The 802.11-style wireless loss model: correlated fade lengths, the
+// deterministic SNR-like modulation of the fade-entry probability, and
+// the substream determinism the chaos engine's replayability rests on.
+#include "net/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hrmc::net {
+namespace {
+
+WirelessLossConfig fade_config() {
+  WirelessLossConfig wl;
+  wl.p_good_bad = 0.01;
+  wl.mean_burst = 6.0;
+  wl.loss_good = 0.0;
+  wl.loss_bad = 1.0;
+  return wl;
+}
+
+TEST(WirelessLoss, SameSeedSameDecisions) {
+  WirelessLoss a(fade_config(), 42);
+  WirelessLoss b(fade_config(), 42);
+  for (int i = 0; i < 20000; ++i) {
+    const sim::SimTime t = sim::microseconds(i * 120);
+    ASSERT_EQ(a.drop(t), b.drop(t)) << "packet " << i;
+  }
+}
+
+TEST(WirelessLoss, DifferentSeedsDiverge) {
+  WirelessLoss a(fade_config(), 42);
+  WirelessLoss b(fade_config(), 43);
+  int differ = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const sim::SimTime t = sim::microseconds(i * 120);
+    differ += a.drop(t) != b.drop(t) ? 1 : 0;
+  }
+  EXPECT_GT(differ, 0);
+}
+
+TEST(WirelessLoss, ZeroConfigNeverDrops) {
+  WirelessLossConfig wl;  // all probabilities at their zero defaults
+  WirelessLoss m(wl, 7);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_FALSE(m.drop(sim::microseconds(i)));
+  }
+}
+
+TEST(WirelessLoss, FadesHaveCorrelatedGeometricLength) {
+  // With loss_bad = 1 and loss_good = 0, every drop run is exactly one
+  // fade, so run lengths sample the burst-length distribution directly.
+  // The mean must track mean_burst — the defining difference from plain
+  // Gilbert–Elliott, whose per-packet exit coin this model replaces.
+  WirelessLoss m(fade_config(), 11);
+  std::vector<int> runs;
+  int run = 0;
+  for (int i = 0; i < 400000; ++i) {
+    if (m.drop(sim::microseconds(i * 120))) {
+      ++run;
+    } else if (run > 0) {
+      runs.push_back(run);
+      run = 0;
+    }
+  }
+  ASSERT_GT(runs.size(), 100u);
+  double sum = 0;
+  for (int r : runs) sum += r;
+  const double mean = sum / static_cast<double>(runs.size());
+  EXPECT_NEAR(mean, 6.0, 1.0);
+  // Correlated bursts: multi-packet fades must dominate single drops
+  // (memoryless exit at the same mean would still produce many 1s, but
+  // the geometric draw guarantees runs well past the mean exist).
+  int longest = 0;
+  for (int r : runs) longest = std::max(longest, r);
+  EXPECT_GT(longest, 12);
+}
+
+TEST(WirelessLoss, SnrModulationShapesEntryProbability) {
+  WirelessLossConfig wl = fade_config();
+  wl.snr_depth = 0.8;
+  wl.snr_period = sim::seconds(1);
+  WirelessLoss m(wl, 3);
+  const double base = wl.p_good_bad;
+  // Peak of sin at t = period/4, trough at 3*period/4.
+  const double peak = m.entry_probability(sim::milliseconds(250));
+  const double mid = m.entry_probability(0);
+  const double trough = m.entry_probability(sim::milliseconds(750));
+  EXPECT_NEAR(mid, base, 1e-12);
+  EXPECT_NEAR(peak, base * 1.8, 1e-9);
+  EXPECT_NEAR(trough, base * 0.2, 1e-9);
+  EXPECT_GT(peak, trough);
+}
+
+TEST(WirelessLoss, EntryProbabilityClampsToUnitInterval) {
+  WirelessLossConfig wl = fade_config();
+  wl.p_good_bad = 0.9;
+  wl.snr_depth = 1.0;  // modulation swings to 2x base = 1.8, clamp to 1
+  wl.snr_period = sim::seconds(1);
+  WirelessLoss m(wl, 3);
+  for (int ms = 0; ms < 1000; ms += 10) {
+    const double p = m.entry_probability(sim::milliseconds(ms));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(m.entry_probability(sim::milliseconds(250)), 1.0);
+}
+
+TEST(WirelessLoss, PhaseOffsetDecorrelatesLinks) {
+  // Two links with the same seed but different SNR phases must not fade
+  // in lockstep — the phase, not just the RNG stream, separates them.
+  WirelessLossConfig a_cfg = fade_config();
+  a_cfg.snr_depth = 0.9;
+  a_cfg.snr_period = sim::milliseconds(100);
+  WirelessLossConfig b_cfg = a_cfg;
+  b_cfg.snr_phase = 0.37;
+  WirelessLoss a(a_cfg, 5);
+  WirelessLoss b(b_cfg, 5);
+  int differ = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const sim::SimTime t = sim::microseconds(i * 120);
+    differ += a.drop(t) != b.drop(t) ? 1 : 0;
+  }
+  EXPECT_GT(differ, 0);
+}
+
+}  // namespace
+}  // namespace hrmc::net

@@ -4,6 +4,7 @@
 Usage:
     trace_dump | check_trace.py [--bound SECONDS]
                                 [--no-release] [--no-nak] [--no-rate]
+                                [--no-progress]
     check_trace.py trace.jsonl
 
 An independent (stdlib-only) implementation of the same three
@@ -18,6 +19,12 @@ trace_dump (or trace::write_jsonl) emits:
   3. Rate conformance: a token bucket fed at the advertised rate never
      goes negative past the pacing slack, and no new data is sent
      while an urgent stop is in force.
+  4. Counter monotonicity: a receiver's reported stream position only
+     moves forward between re-anchors (a "resync" after crash-restart
+     resets the baseline; link flaps and stall re-JOINs do not), and
+     the sender's release head never regresses at all.  Regression on
+     either side is silent state drift — exactly the corruption a
+     restart or a flap-window race would introduce.
 
 Running both implementations over one trace in CI cross-checks them;
 they were written from the record-semantics table in DESIGN.md, not
@@ -57,17 +64,21 @@ def smax(a, b):
 
 
 class Checker:
-    def __init__(self, bound_ns, check_release, check_nak, check_rate):
+    def __init__(self, bound_ns, check_release, check_nak, check_rate,
+                 check_progress=True):
         self.bound_ns = bound_ns
         self.check_release = check_release
         self.check_nak = check_nak
         self.check_rate = check_rate
+        self.check_progress = check_progress
         self.violations = []
         self.releases = self.naks = self.sends = 0
+        self.progress_checks = 0
 
         self.rcv = {}  # host -> [armed, exempt, high]
         self.addr_to_host = {}
         self.pending = []  # [host, from, to, first_emit]
+        self.release_high = None  # sender release head (monotone forever)
 
         self.primed = False
         self.tokens = 0.0
@@ -88,6 +99,14 @@ class Checker:
             return
         if before(s[2], reported):
             s[2] = reported
+        elif self.check_progress and before(reported, s[2]):
+            # Receiver counters are monotone between re-anchors: only a
+            # "resync" (crash-restart) may move the baseline, never a
+            # link flap or a stall re-JOIN.
+            self.violate(r, "reported position {} regressed behind the "
+                         "high-water {}".format(reported, s[2]))
+        if self.check_progress:
+            self.progress_checks += 1
         self.clear_below(r["host"], reported)
 
     # --- invariant 2 ---
@@ -212,6 +231,17 @@ class Checker:
         elif k == "up":
             if 1 <= host < RECEIVER_HOST_MAX:
                 self.state(host)[1] = False
+        elif k == "rejoin":
+            # Stalled-data re-JOIN: the receiver keeps its stream
+            # position, so neither the coverage baseline nor the
+            # pending-NAK set resets — monotonicity holds across it.
+            pass
+        elif k == "leave":
+            # Clean departure: the host stops counting against release
+            # safety and its outstanding NAKs are moot.
+            self.state(host)[1] = True
+            if self.check_nak:
+                self.drop_host(host)
         elif k in ("evict", "dead_release"):
             h = self.addr_to_host.get(r["value"])
             if h is not None:
@@ -230,6 +260,19 @@ class Checker:
         elif k == "urgent_stop":
             self.stop_until = max(self.stop_until, r["value"])
         elif k == "release":
+            if self.check_progress:
+                # The sender never re-anchors: its release head is
+                # monotone across every restart, flap, and churn event
+                # in the trace — regression is counter drift.
+                self.progress_checks += 1
+                if (self.release_high is not None and
+                        before(r["seq_end"], self.release_high)):
+                    self.violate(r, "release head {} regressed behind "
+                                 "{}".format(r["seq_end"],
+                                             self.release_high))
+                if (self.release_high is None or
+                        before(self.release_high, r["seq_end"])):
+                    self.release_high = r["seq_end"]
             if self.check_release:
                 self.releases += 1
                 for h, s in self.rcv.items():
@@ -256,10 +299,12 @@ def main():
     ap.add_argument("--no-release", action="store_true")
     ap.add_argument("--no-nak", action="store_true")
     ap.add_argument("--no-rate", action="store_true")
+    ap.add_argument("--no-progress", action="store_true")
     args = ap.parse_args()
 
     c = Checker(int(args.bound * 1e9), not args.no_release,
-                not args.no_nak, not args.no_rate)
+                not args.no_nak, not args.no_rate,
+                not args.no_progress)
     stream = open(args.trace, encoding="utf-8") if args.trace else sys.stdin
     n = 0
     last_t = 0
@@ -275,9 +320,10 @@ def main():
     if n:
         c.finish(last_t)
 
-    print("check_trace: {} records, {} releases / {} naks / {} sends "
-          "checked, {} violations".format(n, c.releases, c.naks, c.sends,
-                                          len(c.violations)))
+    print("check_trace: {} records, {} releases / {} naks / {} sends / "
+          "{} progress checked, {} violations".format(
+              n, c.releases, c.naks, c.sends, c.progress_checks,
+              len(c.violations)))
     for v in c.violations[:32]:
         print("violation: " + v, file=sys.stderr)
     return 1 if c.violations else 0
