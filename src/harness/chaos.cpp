@@ -198,6 +198,34 @@ ChaosSpec generate_spec(std::uint64_t seed) {
     }
   }
 
+  // Hierarchical repair: only meaningful when some repairer would have
+  // children, i.e. a group with at least two receivers.
+  bool any_multi_group = false;
+  for (int n : s.group_receivers) any_multi_group |= n >= 2;
+  if (any_multi_group && rng.chance(0.35)) {
+    s.hierarchy = true;
+    // Sometimes kill a repairer mid-stream (paired with a restart, like
+    // every crash): its children must fail over to the sender and the
+    // subtree must still deliver the full stream.
+    if (rng.chance(0.5)) {
+      std::size_t first_of_group = 0;
+      const auto victim_group =
+          static_cast<std::size_t>(rng.uniform_int(0, ngroups - 1));
+      for (std::size_t g = 0; g < victim_group; ++g) {
+        first_of_group += static_cast<std::size_t>(s.group_receivers[g]);
+      }
+      const sim::SimTime t0 =
+          sim::milliseconds(60 + rng.uniform_int(0, 250));
+      const sim::SimTime t1 =
+          t0 + sim::milliseconds(40 + rng.uniform_int(0, 200));
+      s.faults.push_back(
+          make_fault(FaultKind::kReceiverCrash, t0, first_of_group));
+      s.faults.push_back(
+          make_fault(FaultKind::kReceiverRestart, t1, first_of_group));
+      lossy_faults = true;
+    }
+  }
+
   // Membership churn: late joins (URG resync to the live stream) and
   // clean leaves, at most one event per receiver so the per-receiver
   // open/close schedule stays unambiguous.
@@ -246,7 +274,8 @@ ChaosSpec generate_spec(std::uint64_t seed) {
   // could legitimately evict a member mid-blackout, and the resulting
   // NAK_ERR would read as an oracle failure. Pure reorder/duplicate/
   // jitter never destroy packets, so any policy must survive them.
-  if (lossy_faults) {
+  // Hierarchy forces kStall too (see ChaosSpec::hierarchy).
+  if (lossy_faults || s.hierarchy) {
     s.eviction = proto::EvictionPolicy::kStall;
   } else {
     switch (rng.uniform_int(0, 3)) {
@@ -369,6 +398,7 @@ Scenario to_scenario(const ChaosSpec& spec) {
   sc.seed = spec.seed;
   sc.faults.events = spec.faults;
   sc.churn = spec.churn;
+  sc.hierarchy.enabled = spec.hierarchy;
   sc.trace.enabled = true;
   return sc;
 }
@@ -476,6 +506,9 @@ std::string serialize_spec(const ChaosSpec& spec) {
   os << "time_limit " << spec.time_limit << "\n";
   os << "data_stall_timeout " << spec.data_stall_timeout << "\n";
   os << "join_batch_threshold " << spec.join_batch_threshold << "\n";
+  // Emitted only when set: repro files without hierarchy stay readable
+  // by parsers predating the field (which reject unknown keys).
+  if (spec.hierarchy) os << "hierarchy 1\n";
   for (std::size_t g = 0; g < spec.group_kind.size(); ++g) {
     os << "group " << spec.group_kind[g] << " " << spec.group_receivers[g]
        << "\n";
@@ -535,6 +568,11 @@ std::optional<ChaosSpec> parse_spec(const std::string& text) {
       ls >> s.data_stall_timeout;
     } else if (key == "join_batch_threshold") {
       ls >> s.join_batch_threshold;
+    } else if (key == "hierarchy") {
+      int h = 0;
+      ls >> h;
+      if (ls.fail() || (h != 0 && h != 1)) return std::nullopt;
+      s.hierarchy = h == 1;
     } else if (key == "churn") {
       ChurnEvent ev;
       int join = 0;
@@ -706,6 +744,16 @@ ChaosSpec shrink(const ChaosSpec& failing, int max_runs) {
         progress = true;
       } else {
         ++i;
+      }
+    }
+    // Pass 1d: drop the repair hierarchy — a repro that still fails
+    // with flat feedback localizes the bug outside the repairer.
+    if (best.hierarchy && runs < max_runs) {
+      ChaosSpec cand = best;
+      cand.hierarchy = false;
+      if (still_fails(cand)) {
+        best = std::move(cand);
+        progress = true;
       }
     }
     // Pass 2: shrink the stream.

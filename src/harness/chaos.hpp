@@ -66,6 +66,12 @@ struct ChaosSpec {
   sim::SimTime data_stall_timeout = 0;
   /// Flash-crowd admission batching (Config::join_batch_threshold).
   std::size_t join_batch_threshold = 0;
+  /// Hierarchical repair: the first receiver of every group becomes its
+  /// subtree's local repairer (Scenario::hierarchy defaults). Forces
+  /// kStall: a dead or crashed repairer silences its children's
+  /// feedback until failover, and eviction during that window would
+  /// make the oracle test the generator, not the protocol.
+  bool hierarchy = false;
 
   [[nodiscard]] std::size_t receiver_count() const {
     std::size_t n = 0;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "hrmc/modeled.hpp"
 #include "hrmc/receiver.hpp"
 #include "hrmc/sender.hpp"
 #include "hrmc/wire.hpp"
@@ -91,15 +92,75 @@ RunResult run_transfer(const Scenario& sc) {
     }
   }
 
-  // Receivers and their applications.
+  // Which slots are modeled populations rather than real receivers.
+  std::vector<const ModeledGroup*> modeled_of(topo.receiver_count(), nullptr);
+  for (const ModeledGroup& mg : sc.modeled) {
+    if (mg.receiver < modeled_of.size()) modeled_of[mg.receiver] = &mg;
+  }
+
+  // Hierarchical repair: pick one repairer per router subtree (topology
+  // group) and point its group-mates' feedback at it. Roles must be
+  // assigned before open() — a receiver's very first JOIN already goes
+  // to its feedback target, and a child that joined the sender directly
+  // would leave behind a member record the sender can never retire
+  // (its later LEAVE/UPDATEs go to the repairer). Modeled slots stay
+  // flat — a population already stands for a whole subtree and reports
+  // its own aggregate.
+  std::vector<std::size_t> repairer_of_group(topo.group_count(),
+                                             topo.receiver_count());
+  if (sc.hierarchy.enabled) {
+    if (!sc.hierarchy.repairers.empty()) {
+      for (std::size_t r : sc.hierarchy.repairers) {
+        if (r >= topo.receiver_count() || modeled_of[r]) continue;
+        repairer_of_group[topo.receiver_group(r)] = r;
+      }
+    } else {
+      for (std::size_t i = 0; i < topo.receiver_count(); ++i) {
+        if (modeled_of[i]) continue;
+        std::size_t& slot = repairer_of_group[topo.receiver_group(i)];
+        if (slot == topo.receiver_count()) slot = i;
+      }
+    }
+  }
+
+  // Receivers and their applications. Vectors are indexed by receiver
+  // slot; a modeled slot holds nullptr in rcv_socks/sinks and its
+  // population in modeled_socks instead.
   std::vector<std::unique_ptr<proto::HrmcReceiver>> rcv_socks;
+  std::vector<std::unique_ptr<proto::ModeledReceiver>> modeled_socks;
   std::vector<std::unique_ptr<app::SinkApp>> sinks;
+  std::vector<sim::SimTime> modeled_complete_at(topo.receiver_count(), -1);
   for (std::size_t i = 0; i < topo.receiver_count(); ++i) {
+    if (const ModeledGroup* mg = modeled_of[i]) {
+      auto pop = std::make_unique<proto::ModeledReceiver>(
+          topo.receiver(i), sc.proto, group, mg->population, mg->leaf_loss,
+          topo.sender().addr());
+      if (ring) {
+        pop->set_trace(
+            trace::TraceSink(ring.get(), &sched, trace::receiver_host(i)));
+      }
+      pop->on_complete = [&sched, &modeled_complete_at, i] {
+        modeled_complete_at[i] = sched.now();
+      };
+      pop->open();
+      rcv_socks.push_back(nullptr);
+      sinks.push_back(nullptr);
+      modeled_socks.push_back(std::move(pop));
+      continue;
+    }
     auto sock = std::make_unique<proto::HrmcReceiver>(
         topo.receiver(i), sc.proto, group, topo.sender().addr());
     if (ring) {
       sock->set_trace(
           trace::TraceSink(ring.get(), &sched, trace::receiver_host(i)));
+    }
+    if (sc.hierarchy.enabled) {
+      const std::size_t rep = repairer_of_group[topo.receiver_group(i)];
+      if (rep == i) {
+        sock->enable_repairer();
+      } else if (rep < topo.receiver_count()) {
+        sock->set_repair_parent(topo.receiver(rep).addr());
+      }
     }
     app::SinkApp::Options opt;
     opt.chunk = sc.workload.chunk;
@@ -118,6 +179,7 @@ RunResult run_transfer(const Scenario& sc) {
       sched.schedule_at(leave_at[i], [raw] { raw->close(); });
     }
     rcv_socks.push_back(std::move(sock));
+    modeled_socks.push_back(nullptr);
   }
 
   // Fault injection. Constructed only for a non-empty plan so that
@@ -127,10 +189,10 @@ RunResult run_transfer(const Scenario& sc) {
     injector = std::make_unique<net::FaultInjector>(sched, topo, sc.faults,
                                                     sc.seed);
     injector->on_receiver_crash = [&rcv_socks](std::size_t i) {
-      if (i < rcv_socks.size()) rcv_socks[i]->crash();
+      if (i < rcv_socks.size() && rcv_socks[i]) rcv_socks[i]->crash();
     };
     injector->on_receiver_restart = [&rcv_socks](std::size_t i) {
-      if (i < rcv_socks.size()) rcv_socks[i]->restart();
+      if (i < rcv_socks.size() && rcv_socks[i]) rcv_socks[i]->restart();
     };
     injector->control_classifier = &is_control_packet;
     if (ring) {
@@ -154,16 +216,22 @@ RunResult run_transfer(const Scenario& sc) {
 
   sched.schedule_at(sc.sender_start, [&source] { source.start(); });
 
+  const auto slot_complete = [&](std::size_t i) {
+    return sinks[i] ? sinks[i]->stream_complete()
+                    : modeled_socks[i]->complete();
+  };
   const auto all_receivers_complete = [&] {
-    return std::all_of(sinks.begin(), sinks.end(),
-                       [](const auto& s) { return s->stream_complete(); });
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      if (!slot_complete(i)) return false;
+    }
+    return true;
   };
   // Run until every receiver we *expect* to finish has finished (a
   // receiver crashed without restart never will — waiting on it would
   // just spin to the time limit) and the sender released everything.
   const auto survivors_complete = [&] {
     for (std::size_t i = 0; i < sinks.size(); ++i) {
-      if (expect_complete[i] && !sinks[i]->stream_complete()) return false;
+      if (expect_complete[i] && !slot_complete(i)) return false;
     }
     return true;
   };
@@ -189,6 +257,7 @@ RunResult run_transfer(const Scenario& sc) {
           p.retransmissions =
               static_cast<double>(snd.stats().retransmissions);
           for (const auto& r : rcv_socks) {
+            if (!r) continue;
             p.recv_occupancy_bytes = std::max(
                 p.recv_occupancy_bytes, static_cast<double>(r->occupancy()));
             p.recv_region = std::max(
@@ -210,7 +279,12 @@ RunResult run_transfer(const Scenario& sc) {
   // with window_stall_time() even for a run that ends mid-stall.
   if (sampler) sampler->stop();
   snd.stop();
-  for (auto& r : rcv_socks) r->stop();
+  for (auto& r : rcv_socks) {
+    if (r) r->stop();
+  }
+  for (auto& m : modeled_socks) {
+    if (m) m->stop();
+  }
 
   RunResult res;
   res.completed = all_receivers_complete();
@@ -219,13 +293,17 @@ RunResult run_transfer(const Scenario& sc) {
   for (std::size_t i = 0; i < sinks.size(); ++i) {
     if (!expect_complete[i]) continue;
     ++res.survivor_count;
-    if (sinks[i]->stream_complete()) ++res.survivors_completed;
+    if (slot_complete(i)) ++res.survivors_completed;
   }
 
   sim::SimTime last_complete = sc.sender_start;
-  for (const auto& s : sinks) {
-    if (s->stream_complete()) {
-      last_complete = std::max(last_complete, s->complete_at());
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    if (sinks[i]) {
+      if (sinks[i]->stream_complete()) {
+        last_complete = std::max(last_complete, sinks[i]->complete_at());
+      }
+    } else if (modeled_complete_at[i] >= 0) {
+      last_complete = std::max(last_complete, modeled_complete_at[i]);
     }
   }
   res.elapsed = last_complete - sc.sender_start;
@@ -236,8 +314,9 @@ RunResult run_transfer(const Scenario& sc) {
 
   res.sender = snd.stats();
   res.evicted_count = res.sender.members_evicted;
-  for (std::size_t i = 0; i < rcv_socks.size(); ++i) {
-    const proto::ReceiverStats& rs = rcv_socks[i]->stats();
+  res.member_min_rescans = snd.members().min_rescans();
+  res.member_min_rescan_work = snd.members().min_rescan_work();
+  const auto accumulate = [&res](const proto::ReceiverStats& rs) {
     res.per_receiver.push_back(rs);
     auto& t = res.receivers_total;
     t.data_packets_received += rs.data_packets_received;
@@ -247,9 +326,14 @@ RunResult run_transfer(const Scenario& sc) {
     t.window_overflow_drops += rs.window_overflow_drops;
     t.naks_sent += rs.naks_sent;
     t.naks_suppressed += rs.naks_suppressed;
+    t.naks_peer_suppressed += rs.naks_peer_suppressed;
+    t.naks_forwarded += rs.naks_forwarded;
     t.rate_requests_sent += rs.rate_requests_sent;
     t.urgent_requests_sent += rs.urgent_requests_sent;
     t.updates_sent += rs.updates_sent;
+    t.agg_updates_sent += rs.agg_updates_sent;
+    t.repairs_served += rs.repairs_served;
+    t.repair_failovers += rs.repair_failovers;
     t.probes_received += rs.probes_received;
     t.keepalives_received += rs.keepalives_received;
     t.nak_errs_received += rs.nak_errs_received;
@@ -260,8 +344,16 @@ RunResult run_transfer(const Scenario& sc) {
     t.fec_recoveries += rs.fec_recoveries;
     t.fec_stale_groups += rs.fec_stale_groups;
     t.stall_rejoins += rs.stall_rejoins;
-    if (rcv_socks[i]->stream_error()) res.any_stream_error = true;
-    if (sinks[i]->verify_failed()) res.verify_ok = false;
+  };
+  for (std::size_t i = 0; i < rcv_socks.size(); ++i) {
+    if (rcv_socks[i]) {
+      accumulate(rcv_socks[i]->stats());
+      if (rcv_socks[i]->stream_error()) res.any_stream_error = true;
+      if (sinks[i]->verify_failed()) res.verify_ok = false;
+    } else {
+      accumulate(modeled_socks[i]->stats());
+      res.modeled_leaves += modeled_socks[i]->population();
+    }
   }
 
   res.sender_nic_tx_drops =

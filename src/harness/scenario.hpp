@@ -56,6 +56,29 @@ struct ChurnEvent {
   bool join = false;  ///< true = late join, false = leave
 };
 
+/// Hierarchical repair (million-receiver scaling extension): designate
+/// one receiver per router subtree as the local repairer. Its siblings
+/// send feedback to it instead of the sender; it answers their NAKs
+/// from a local packet cache and collapses their UPDATEs into one
+/// AGG_UPDATE per subtree.
+struct HierarchyOptions {
+  bool enabled = false;
+  /// Explicit repairer slots. Empty = the first receiver of each
+  /// topology group (its group-mates become its children).
+  std::vector<std::size_t> repairers;
+};
+
+/// Replace one receiver slot with a ModeledReceiver: a statistical
+/// stand-in for `population` leaves behind that slot's subtree, each
+/// independently losing packets at `leaf_loss` on top of the simulated
+/// network's own drops. Modeled slots have no sink application; run
+/// completion uses ModeledReceiver::complete() instead.
+struct ModeledGroup {
+  std::size_t receiver = 0;
+  std::uint32_t population = 1000;
+  double leaf_loss = 0.0;
+};
+
 struct Scenario {
   std::string name = "scenario";
   net::TopologyConfig topo;
@@ -75,6 +98,12 @@ struct Scenario {
   /// with a join event does not open at t = 0; a receiver with a leave
   /// event is no longer expected to complete the stream.
   std::vector<ChurnEvent> churn;
+  /// Local-repairer hierarchy (off = flat feedback, bit-identical to
+  /// runs predating this field).
+  HierarchyOptions hierarchy;
+  /// Modeled receiver populations (empty = every slot is a real
+  /// receiver — bit-identical to runs predating this field).
+  std::vector<ModeledGroup> modeled;
   TraceOptions trace;
 };
 
@@ -92,6 +121,11 @@ struct RunResult {
 
   std::uint64_t sender_nic_tx_drops = 0;
   std::uint64_t router_loss_drops = 0;
+
+  // Million-receiver scaling metrics.
+  std::uint64_t modeled_leaves = 0;       ///< Σ population over modeled slots
+  std::uint64_t member_min_rescans = 0;   ///< shard-minimum cache misses
+  std::uint64_t member_min_rescan_work = 0;  ///< members walked by rescans
 
   // Degradation metrics (fault scenarios). A "survivor" is a receiver
   // the fault plan never crashed, or crashed and later restarted.

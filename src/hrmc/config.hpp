@@ -110,6 +110,13 @@ struct Config {
   // --- Probing ---
   /// Minimum spacing between PROBEs to the same receiver.
   double probe_interval_rtts = 1.0;
+  /// Cap on unicast PROBEs emitted per release attempt (one scheduler
+  /// event). A cold 10k-member table owes 10k probes; without the cap
+  /// they leave as one 10k-packet burst in a single jiffy. Deferred
+  /// members are picked up by the next release attempt via a rotating
+  /// cursor, so every member is still probed within O(lacking / cap)
+  /// rounds with the existing retry backoff intact. 0 disables the cap.
+  std::size_t max_probes_per_round = 128;
 
   // --- Failure detection and recovery (robustness extension) ---
   /// Policy once a member exhausts its probe-retry budget.
@@ -137,6 +144,35 @@ struct Config {
   /// re-grafts: re-JOINs the group at the IGMP layer and re-sends a
   /// normal JOIN so the sender refreshes its record. 0 disables.
   sim::SimTime data_stall_timeout = 0;
+
+  // --- Million-receiver scaling (hierarchical repair + SRM suppression;
+  // off by default, so flat-topology runs are bit-identical) ---
+  /// SRM-style NAK suppression: a fresh hole's first NAK is delayed by a
+  /// uniform random backoff in [0, nak_backoff_rtts * srtt]; a NAK for
+  /// an overlapping range overheard from another group member (receivers
+  /// multicast a copy of each NAK into their subtree) re-defers it, so
+  /// a shared upstream loss costs one NAK per subtree, not one per leaf.
+  bool nak_suppression = false;
+  /// Backoff window width, in smoothed RTTs.
+  double nak_backoff_rtts = 1.0;
+  /// Root seed for the receiver-local suppression RNG (drawn only while
+  /// nak_suppression is on; per-receiver substreams are derived from it
+  /// and the receiver address, so runs stay deterministic).
+  std::uint64_t feedback_seed = 0;
+
+  /// Local-repairer payload cache, in packets (most recently received
+  /// DATA payloads kept for answering child NAKs). Bounds repairer
+  /// memory; older losses fall through to the sender as forwarded NAKs.
+  std::size_t repair_cache_packets = 256;
+  /// A registered child silent for this long is dropped from the
+  /// repairer's aggregate (its leaves stop counting toward the subtree
+  /// multiplicity; the sender's own tombstone machinery handles the
+  /// membership record).
+  sim::SimTime repair_child_timeout = sim::seconds(5);
+  /// Child-side failover: after this many NAK re-sends of the same range
+  /// without progress through the repairer, the child re-homes to the
+  /// sender (and re-JOINs there). Guards against a crashed repairer.
+  int repair_failover_naks = 3;
 
   // --- Optional extensions (§6 future work; off by default) ---
   /// (1) Early probes: probe receivers when a packet is within this many

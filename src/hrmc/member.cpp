@@ -27,20 +27,29 @@ McMember* MemberTable::add(net::Addr addr, kern::Seq initial_expected) {
   m->hash_next = hash_[b];
   hash_[b] = m;
 
-  ++size_;
-  ++version_;
-  if (size_ == 1) {
-    cached_min_ = initial_expected;
-    min_count_ = 1;
-    min_valid_ = true;
-  } else if (min_valid_) {
-    if (initial_expected == cached_min_) {
-      ++min_count_;
-    } else if (kern::seq_before(initial_expected, cached_min_)) {
-      cached_min_ = initial_expected;
-      min_count_ = 1;
+  // Push onto the subtree shard and maintain its cached minimum.
+  m->shard = static_cast<std::uint8_t>(shard_of(addr));
+  Shard& s = shards_[m->shard];
+  m->shard_next = s.head;
+  if (s.head != nullptr) s.head->shard_prev = m;
+  s.head = m;
+  ++s.size;
+  if (s.size == 1) {
+    s.cached_min = initial_expected;
+    s.min_count = 1;
+    s.min_valid = true;
+  } else if (s.min_valid) {
+    if (initial_expected == s.cached_min) {
+      ++s.min_count;
+    } else if (kern::seq_before(initial_expected, s.cached_min)) {
+      s.cached_min = initial_expected;
+      s.min_count = 1;
     }
   }
+
+  ++size_;
+  total_weight_ += m->multiplicity;
+  ++version_;
   return m;
 }
 
@@ -62,9 +71,16 @@ bool MemberTable::remove(net::Addr addr) {
   if (m->next != nullptr) m->next->prev = m->prev;
   if (head_ == m) head_ = m->next;
 
-  if (min_valid_ && m->next_expected == cached_min_ && --min_count_ == 0) {
-    min_valid_ = false;  // the last slowest member left; rescan lazily
+  Shard& s = shards_[m->shard];
+  if (m->shard_prev != nullptr) m->shard_prev->shard_next = m->shard_next;
+  if (m->shard_next != nullptr) m->shard_next->shard_prev = m->shard_prev;
+  if (s.head == m) s.head = m->shard_next;
+  --s.size;
+  if (s.min_valid && m->next_expected == s.cached_min && --s.min_count == 0) {
+    s.min_valid = false;  // the shard's slowest member left; rescan lazily
   }
+
+  total_weight_ -= m->multiplicity;
   delete m;
   --size_;
   ++version_;
@@ -93,19 +109,56 @@ void MemberTable::for_each(
 
 bool MemberTable::advance(McMember* m, kern::Seq reported) {
   if (!kern::seq_before(m->next_expected, reported)) return false;
-  if (min_valid_ && m->next_expected == cached_min_ && --min_count_ == 0) {
-    min_valid_ = false;  // the slowest member moved; rescan lazily
+  return set_position(m, reported);
+}
+
+bool MemberTable::set_position(McMember* m, kern::Seq seq) {
+  if (m->next_expected == seq) return false;
+  Shard& s = shards_[m->shard];
+  const kern::Seq old = m->next_expected;
+  if (kern::seq_before(seq, old)) {
+    // Regression (an aggregated record absorbing a laggard child): any
+    // membership-derived cache built against the old position — the
+    // sender's lacking set — is now stale, so count it as a membership
+    // change.
+    ++version_;
   }
-  m->next_expected = reported;
+  m->next_expected = seq;
+  if (!s.min_valid) return true;
+  if (old == s.cached_min) {
+    if (s.min_count == 1) {
+      if (kern::seq_before(seq, old)) {
+        s.cached_min = seq;  // still the unique shard minimum, just lower
+      } else {
+        s.min_valid = false;  // the shard's slowest member moved; rescan lazily
+      }
+      return true;
+    }
+    --s.min_count;
+  }
+  if (kern::seq_before(seq, s.cached_min)) {
+    s.cached_min = seq;
+    s.min_count = 1;
+  } else if (seq == s.cached_min) {
+    ++s.min_count;
+  }
   return true;
 }
 
-void MemberTable::rescan_min() const {
+void MemberTable::set_multiplicity(McMember* m, std::uint32_t multiplicity) {
+  if (multiplicity == 0) multiplicity = 1;
+  total_weight_ += multiplicity;
+  total_weight_ -= m->multiplicity;
+  m->multiplicity = multiplicity;
+}
+
+void MemberTable::rescan_shard(const Shard& s) const {
   ++min_rescans_;
-  min_rescan_work_ += size_;
-  kern::Seq lo = head_->next_expected;
+  min_rescan_work_ += s.size;
+  kern::Seq lo = s.head->next_expected;
   std::size_t count = 1;
-  for (const McMember* m = head_->next; m != nullptr; m = m->next) {
+  for (const McMember* m = s.head->shard_next; m != nullptr;
+       m = m->shard_next) {
     if (m->next_expected == lo) {
       ++count;
     } else if (kern::seq_before(m->next_expected, lo)) {
@@ -113,15 +166,24 @@ void MemberTable::rescan_min() const {
       count = 1;
     }
   }
-  cached_min_ = lo;
-  min_count_ = count;
-  min_valid_ = true;
+  s.cached_min = lo;
+  s.min_count = count;
+  s.min_valid = true;
 }
 
 kern::Seq MemberTable::min_next_expected(kern::Seq fallback) const {
   if (head_ == nullptr) return fallback;
-  if (!min_valid_) rescan_min();
-  return cached_min_;
+  bool any = false;
+  kern::Seq lo = 0;
+  for (const Shard& s : shards_) {
+    if (s.head == nullptr) continue;
+    if (!s.min_valid) rescan_shard(s);
+    if (!any || kern::seq_before(s.cached_min, lo)) {
+      lo = s.cached_min;
+      any = true;
+    }
+  }
+  return lo;
 }
 
 bool MemberTable::all_have(kern::Seq seq) const {

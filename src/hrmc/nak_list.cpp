@@ -83,10 +83,40 @@ void NakList::ack_through(Seq seq) {
   ranges_ = std::move(out);
 }
 
+std::size_t NakList::defer(Seq from, Seq to, sim::SimTime until) {
+  std::size_t deferred = 0;
+  for (NakRange& r : ranges_) {
+    if (seq_before_eq(r.to, from) || seq_before_eq(to, r.from)) continue;
+    if (until > r.not_before) r.not_before = until;
+    ++deferred;
+  }
+  return deferred;
+}
+
+void NakList::defer_unsent(Seq from, Seq to, sim::SimTime until) {
+  for (NakRange& r : ranges_) {
+    if (seq_before_eq(r.to, from) || seq_before_eq(to, r.from)) continue;
+    r.sends = 0;
+    r.last_sent = 0;
+    if (until > r.not_before) r.not_before = until;
+  }
+}
+
+namespace {
+
+sim::SimTime range_ready_at(const NakRange& r, sim::SimTime interval) {
+  // An unsent (backoff-deferred) range is due exactly at its deferral
+  // deadline; a sent one waits out the re-send interval as well.
+  if (r.sends == 0) return r.not_before;
+  return std::max(r.last_sent + interval, r.not_before);
+}
+
+}  // namespace
+
 std::vector<NakRange> NakList::due(sim::SimTime now, sim::SimTime interval) {
   std::vector<NakRange> result;
   for (NakRange& r : ranges_) {
-    if (now - r.last_sent >= interval) {
+    if (now >= range_ready_at(r, interval)) {
       r.last_sent = now;
       ++r.sends;
       result.push_back(r);
@@ -98,7 +128,7 @@ std::vector<NakRange> NakList::due(sim::SimTime now, sim::SimTime interval) {
 sim::SimTime NakList::next_due(sim::SimTime interval) const {
   sim::SimTime earliest = sim::kTimeInfinity;
   for (const NakRange& r : ranges_) {
-    earliest = std::min(earliest, r.last_sent + interval);
+    earliest = std::min(earliest, range_ready_at(r, interval));
   }
   return earliest;
 }

@@ -20,6 +20,10 @@ struct NakRange {
   kern::Seq to = 0;    ///< one past the last missing byte
   sim::SimTime last_sent = 0;
   int sends = 0;
+  /// SRM suppression: the range must not be (re-)sent before this
+  /// instant. 0 (the default) means no deferral — exactly the
+  /// pre-suppression behavior.
+  sim::SimTime not_before = 0;
 };
 
 class NakList {
@@ -36,6 +40,18 @@ class NakList {
 
   /// Everything before `seq` is in hand: drops satisfied ranges.
   void ack_through(kern::Seq seq);
+
+  /// SRM-style suppression: pushes the next send of any range
+  /// overlapping [from, to) out to at least `until` (a later existing
+  /// deadline is kept). Returns the number of ranges deferred.
+  std::size_t defer(kern::Seq from, kern::Seq to, sim::SimTime until);
+
+  /// Marks ranges overlapping [from, to) as never sent and deferred to
+  /// `until`: used right after add_gap() when the first NAK of a fresh
+  /// hole is delayed by a suppression backoff instead of sent. An unsent
+  /// range becomes due exactly at its deferral deadline (the re-send
+  /// interval does not apply until a first send actually happens).
+  void defer_unsent(kern::Seq from, kern::Seq to, sim::SimTime until);
 
   /// Ranges whose suppression interval has expired; their clocks are
   /// restarted. The NAK Manager re-sends these.

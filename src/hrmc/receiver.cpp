@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 #include <iterator>
+#include <string>
+
+#include "hrmc/repairer.hpp"
 
 namespace hrmc::proto {
 
@@ -22,6 +25,12 @@ constexpr kern::Jiffies kJoinRetryJiffies = 50;  // 0.5 s
 // departure lost to a blackout window would otherwise leave a ghost
 // member stalling the sender's window forever under kStall.
 constexpr int kLeaveBackoffCap = 4;  // 50 << 4 jiffies = 8 s between tries
+// Re-home retry cadence for a departing repairer: wait for the
+// children's detach acks (~one subtree RTT) between multicast LEAVE
+// rounds, with a ~1 s total budget before leaving anyway — the residual
+// orphan risk is bounded by the sender's release hold time.
+constexpr kern::Jiffies kRehomeRetryJiffies = 5;  // 50 ms
+constexpr int kRehomeTriesMax = 20;
 }  // namespace
 
 HrmcReceiver::HrmcReceiver(net::Host& host, const Config& cfg,
@@ -34,7 +43,10 @@ HrmcReceiver::HrmcReceiver(net::Host& host, const Config& cfg,
       nak_timer_(host.scheduler(), [this] { nak_timer_fire(); }),
       update_timer_(host.scheduler(), [this] { update_timer_fire(); }),
       join_timer_(host.scheduler(), [this] { join_timer_fire(); }),
-      update_period_(cfg.update_period_init) {
+      update_period_(cfg.update_period_init),
+      feedback_rng_(sim::substream_seed(
+          sim::substream_seed(cfg.feedback_seed, "nak-backoff"),
+          std::to_string(host.addr()))) {
   rcv_wnd_ = rcv_nxt_ = cfg_.initial_seq;
   fec_anchor_ = cfg_.initial_seq;
 }
@@ -62,6 +74,20 @@ void HrmcReceiver::close() {
   if (join_state_ == JoinState::kLeaving || join_state_ == JoinState::kLeft) {
     return;
   }
+  // A repairer must not orphan its subtree: its clean LEAVE removes the
+  // only sender-side record gating the children's positions, so a
+  // laggard child's bytes could be released before its NAK-failover
+  // re-registers it. Re-home the children first — a subtree-scoped
+  // multicast LEAVE tells them to fail over to the sender now — and
+  // defer our own leave until they detach (each acks with a unicast
+  // LEAVE) or a bounded retry budget runs out.
+  if (repair_ != nullptr && repair_->child_count() > 0 &&
+      sender_addr_ != 0 && rehome_tries_ < kRehomeTriesMax) {
+    ++rehome_tries_;
+    emit_to(group_.addr, PacketType::kLeave, report_position(), 0, 0);
+    join_timer_.mod_timer_in(kRehomeRetryJiffies);
+    return;
+  }
   trace_.emit(trace::EventKind::kLeave, rcv_nxt_, rcv_nxt_, host_.addr());
   host_.leave_group(group_.addr);
   if (sender_addr_ != 0) {
@@ -79,6 +105,25 @@ void HrmcReceiver::stop() {
   nak_timer_.del_timer();
   update_timer_.del_timer();
   join_timer_.del_timer();
+  if (repair_) repair_->stop();
+}
+
+// --------------------------------------------------------------------
+// Hierarchical repair role wiring
+// --------------------------------------------------------------------
+
+void HrmcReceiver::enable_repairer() {
+  if (!repair_) repair_ = std::make_unique<RepairAgent>(*this);
+}
+
+void HrmcReceiver::set_repair_parent(net::Addr parent) {
+  repair_parent_ = parent;
+  repair_failed_over_ = false;
+}
+
+Seq HrmcReceiver::report_position() const {
+  if (!repair_) return rcv_nxt_;
+  return repair_->subtree_min(rcv_nxt_);
 }
 
 // --------------------------------------------------------------------
@@ -101,6 +146,12 @@ void HrmcReceiver::crash() {
   join_tries_ = 0;
   last_data_at_ = -1;
   interarrival_ = 0;
+  // Repairer role: the child table and payload cache are volatile (the
+  // children re-register via their own recovery); a prior failover away
+  // from a dead parent is forgotten — the restart resync re-homes to
+  // the configured parent, failing over again only if it stays dead.
+  if (repair_) repair_->clear();
+  repair_failed_over_ = false;
   // rcv_nxt_/rcv_wnd_ stay as stale markers until restart() resyncs;
   // nothing reads them while crashed_ (rx() drops everything).
 }
@@ -160,10 +211,19 @@ void HrmcReceiver::rx(kern::SkBuffPtr skb) {
     stats_.bad_packets++;
     return;
   }
+  const net::Addr from = skb->saddr;
+  const bool unicast_to_me = skb->daddr == host_.addr();
   // Learn the sender's unicast address from its first packet; the JOIN
-  // goes out "in response to the first data packet" (§2).
-  if (sender_addr_ == 0 && !net::is_multicast(skb->saddr)) {
-    sender_addr_ = skb->saddr;
+  // goes out "in response to the first data packet" (§2). Peer feedback
+  // (child traffic homed to a repairer, or a subtree-multicast NAK copy
+  // under suppression) originates at another *receiver* and must never
+  // be mistaken for the sender.
+  const bool peer_feedback =
+      h->type == PacketType::kNak || h->type == PacketType::kUpdate ||
+      h->type == PacketType::kAggUpdate || h->type == PacketType::kJoin ||
+      h->type == PacketType::kLeave || h->type == PacketType::kControl;
+  if (sender_addr_ == 0 && !peer_feedback && !net::is_multicast(from)) {
+    sender_addr_ = from;
   }
   last_activity_at_ = host_.scheduler().now();
   if (resync_pending_) {
@@ -216,6 +276,68 @@ void HrmcReceiver::rx(kern::SkBuffPtr skb) {
     case PacketType::kJoinResponse: process_join_response(*h); break;
     case PacketType::kLeaveResponse: process_leave_response(*h); break;
     case PacketType::kNakErr: process_nak_err(*h); break;
+    case PacketType::kNak:
+      if (unicast_to_me && repair_) {
+        // A child's NAK homed to us as its subtree repairer.
+        repair_->handle_nak(*h, from);
+      } else if (!unicast_to_me && cfg_.nak_suppression &&
+                 from != host_.addr()) {
+        // A peer's NAK overheard on the subtree multicast (SRM).
+        process_peer_nak(*h, from);
+      }
+      break;
+    case PacketType::kUpdate:
+      if (unicast_to_me && repair_) {
+        repair_->handle_update(*h, from, /*aggregated=*/false);
+      } else {
+        stats_.bad_packets++;
+      }
+      break;
+    case PacketType::kAggUpdate:
+      // A nested repairer reporting its whole subtree to us.
+      if (unicast_to_me && repair_) {
+        repair_->handle_update(*h, from, /*aggregated=*/true);
+      } else {
+        stats_.bad_packets++;
+      }
+      break;
+    case PacketType::kJoin:
+      if (unicast_to_me && repair_) {
+        repair_->handle_join(*h, from);
+      } else {
+        stats_.bad_packets++;
+      }
+      break;
+    case PacketType::kLeave:
+      if (unicast_to_me && repair_) {
+        repair_->handle_leave(*h, from);
+      } else if (!unicast_to_me && from == repair_parent_ &&
+                 from != host_.addr()) {
+        // Subtree-scoped LEAVE from our repairer: it is departing and
+        // re-homing us. Fail over to the sender immediately and ack
+        // with a unicast detach LEAVE so it can count us out and
+        // proceed with its own departure.
+        if (!repair_failed_over_) {
+          repair_failed_over_ = true;
+          stats_.repair_failovers++;
+        }
+        emit_to(repair_parent_, PacketType::kLeave, rcv_nxt_, 0, 0);
+        if (join_state_ == JoinState::kJoined ||
+            join_state_ == JoinState::kJoining) {
+          send_join();
+        }
+      } else if (unicast_to_me || from != host_.addr()) {
+        // Our own multicast echo is not malformed traffic.
+        stats_.bad_packets++;
+      }
+      break;
+    case PacketType::kControl:
+      if (unicast_to_me && repair_) {
+        repair_->handle_control(*h, from);
+      } else {
+        stats_.bad_packets++;
+      }
+      break;
     default:
       stats_.bad_packets++;
       break;
@@ -247,6 +369,12 @@ void HrmcReceiver::process_data(const Header& h, kern::SkBuffPtr skb) {
   if (cfg_.fec_group > 0 && h.length == cfg_.mss) {
     fec_cache_store(begin, skb->bytes());
   }
+
+  // Repairer role: every arriving DATA packet (duplicates included —
+  // a retransmission we no longer need may be exactly what a child is
+  // missing) feeds the local repair cache before any trimming below
+  // mutates the buffer. clone() is O(1) copy-on-write.
+  if (repair_) repair_->cache_data(h, skb);
 
   // Entirely old data: duplicate (a retransmission we no longer need).
   if (seq_before_eq(end, rcv_nxt_)) {
@@ -387,10 +515,45 @@ void HrmcReceiver::nak_holes_up_to(Seq upto) {
   // repair the hole locally before spending a NAK round trip on it
   // (probe-solicited NAKs are never deferred: the sender is waiting).
   const bool defer = fec_wait_worthwhile() && !answering_probe_;
+  // SRM-style suppression: instead of NAKing a fresh hole immediately,
+  // wait a random backoff — if a peer's NAK for the same range (or the
+  // retransmission it provokes) arrives first, ours is cancelled
+  // (probe-solicited NAKs still go out at once: the sender is waiting).
+  const bool backoff = cfg_.nak_suppression && !answering_probe_;
   for (const NakRange& r : fresh) {
-    if (!defer) send_nak(r);
+    if (backoff) {
+      nak_list_.defer_unsent(r.from, r.to, now + suppression_backoff());
+    } else if (!defer) {
+      send_nak(r);
+    }
   }
   rearm_nak_timer();
+}
+
+sim::SimTime HrmcReceiver::suppression_backoff() {
+  const double window =
+      cfg_.nak_backoff_rtts *
+      static_cast<double>(std::max<sim::SimTime>(rtt_.srtt(), kern::kJiffy));
+  return static_cast<sim::SimTime>(feedback_rng_.uniform(0.0, window));
+}
+
+void HrmcReceiver::process_peer_nak(const Header& h, net::Addr from) {
+  (void)from;
+  if (h.length == 0) return;
+  const Seq nak_from = h.rate;
+  const Seq nak_to = h.rate + h.length;
+  // The peer's NAK will provoke a repair that we will overhear too:
+  // push any of our own pending NAKs overlapping the range out past one
+  // NAK interval (plus a fresh backoff so the survivors re-desynchronize).
+  const sim::SimTime until =
+      host_.scheduler().now() + nak_interval() + suppression_backoff();
+  const std::size_t deferred = nak_list_.defer(nak_from, nak_to, until);
+  if (deferred > 0) {
+    stats_.naks_peer_suppressed += deferred;
+    trace_.emit(trace::EventKind::kNakPeerSuppress, rcv_nxt_, rcv_nxt_,
+                deferred);
+    rearm_nak_timer();
+  }
 }
 
 void HrmcReceiver::after_stream_advance() {
@@ -555,7 +718,13 @@ void HrmcReceiver::process_probe(const Header& h) {
   stats_.probes_received++;
   probe_seen_this_period_ = true;
   answering_probe_ = true;  // outgoing UPDATE/NAKs carry the URG mark
-  if (seq_after_eq(rcv_nxt_, h.seq)) {
+  if (repair_) {
+    // A probed repairer answers for its whole subtree: one solicited
+    // AGG_UPDATE carries the subtree minimum, and if the repairer is
+    // itself behind the probed position it NAKs its own holes too.
+    repair_->send_aggregate(/*solicited=*/true);
+    if (seq_before(rcv_nxt_, h.seq)) nak_holes_up_to(h.seq);
+  } else if (seq_after_eq(rcv_nxt_, h.seq)) {
     send_update();
   } else {
     nak_holes_up_to(h.seq);
@@ -596,7 +765,11 @@ void HrmcReceiver::process_join_response(const Header& h) {
       trace_.emit(trace::EventKind::kResync, rcv_nxt_, rcv_nxt_,
                   host_.addr());
     }
-    trace_.emit(trace::EventKind::kJoined, rcv_nxt_, rcv_nxt_, host_.addr());
+    trace_.emit(trace::EventKind::kJoined, rcv_nxt_, rcv_nxt_, host_.addr(),
+                0,
+                repair_parent_ != 0 && !repair_failed_over_
+                    ? trace::kFlagAggregated
+                    : 0);
     rtt_.sample(host_.scheduler().now() - join_sent_at_,
                 /*from_retransmit=*/join_tries_ > 1);
     // Reset the retry budget: a long-lived connection on a flapping
@@ -646,14 +819,32 @@ void HrmcReceiver::process_nak_err(const Header& h) {
 // --------------------------------------------------------------------
 
 void HrmcReceiver::send_nak(const NakRange& r) {
+  // Repairer failover: a range re-sent past the failover budget means
+  // the repair parent is not answering (crashed, partitioned, or left).
+  // Re-home all feedback to the sender and re-register there; sticky
+  // until crash-restart, so a flapping parent cannot bounce us.
+  if (repair_parent_ != 0 && !repair_failed_over_ && sender_addr_ != 0 &&
+      r.sends > cfg_.repair_failover_naks) {
+    repair_failed_over_ = true;
+    stats_.repair_failovers++;
+    send_join();
+  }
   stats_.naks_sent++;
   trace_.emit(trace::EventKind::kNakEmit, r.from, r.to, rcv_nxt_, 0,
               answering_probe_ ? trace::kFlagSolicited : 0);
   // NAK: seq = next expected (member-state refresh), rate field = start
   // of the missing range, length = its size (wire.hpp). URG marks a
-  // probe-solicited NAK.
-  emit(PacketType::kNak, rcv_nxt_, r.from,
-       static_cast<std::uint32_t>(seq_diff(r.from, r.to)), answering_probe_);
+  // probe-solicited NAK. A repairer reports its subtree minimum, never
+  // its own position (see report_position()).
+  const auto len = static_cast<std::uint32_t>(seq_diff(r.from, r.to));
+  emit(PacketType::kNak, report_position(), r.from, len, answering_probe_);
+  if (cfg_.nak_suppression) {
+    // SRM: a subtree-scoped multicast copy lets peers missing the same
+    // range suppress their own duplicates. Receiver-originated multicast
+    // never grafts upward, so the copy stays inside the subtree.
+    emit_to(group_.addr, PacketType::kNak, report_position(), r.from, len,
+            answering_probe_);
+  }
 }
 
 void HrmcReceiver::send_update() {
@@ -661,6 +852,14 @@ void HrmcReceiver::send_update() {
   trace_.emit(trace::EventKind::kUpdate, rcv_nxt_, rcv_nxt_, occupancy(), 0,
               answering_probe_ ? trace::kFlagSolicited : 0);
   emit(PacketType::kUpdate, rcv_nxt_, 0, 0, answering_probe_);
+  if (repair_parent_ != 0 && repair_failed_over_) {
+    // Mirror the periodic report to the abandoned repair parent: if it
+    // is alive, a stale child entry from before the failover would
+    // otherwise freeze its subtree minimum forever (children never
+    // expire under kStall) and deadlock the sender's release gate.
+    emit_to(repair_parent_, PacketType::kUpdate, rcv_nxt_, 0, 0,
+            answering_probe_);
+  }
 }
 
 void HrmcReceiver::send_control(std::uint32_t requested_rate, bool urgent) {
@@ -668,7 +867,11 @@ void HrmcReceiver::send_control(std::uint32_t requested_rate, bool urgent) {
   if (urgent) stats_.urgent_requests_sent++;
   trace_.emit(trace::EventKind::kRateRequest, rcv_nxt_, rcv_nxt_,
               requested_rate, urgent ? 1 : 0);
-  emit(PacketType::kControl, rcv_nxt_, requested_rate, 0, urgent);
+  // CONTROL refreshes our membership record like any feedback, so a
+  // repairer must report the subtree minimum here too — its own
+  // position would re-anchor the sender's record past a laggard child
+  // and open the release gate over bytes that child still needs.
+  emit(PacketType::kControl, report_position(), requested_rate, 0, urgent);
 }
 
 void HrmcReceiver::send_join() {
@@ -681,7 +884,9 @@ void HrmcReceiver::send_join() {
   }
   // URG on a JOIN marks a crash-restart resync: the sender must anchor
   // this member at its current position, not at our stale rcv_nxt_.
-  emit(PacketType::kJoin, rcv_nxt_, 0, 0, /*urg=*/resync_pending_);
+  // A non-URG (re-)JOIN claims the subtree minimum, not our own
+  // position: the record it anchors stands for every child below us.
+  emit(PacketType::kJoin, report_position(), 0, 0, /*urg=*/resync_pending_);
   join_timer_.mod_timer_in(kJoinRetryJiffies);
 }
 
@@ -692,9 +897,26 @@ void HrmcReceiver::send_leave() {
   join_timer_.mod_timer_in(kJoinRetryJiffies << shift);
 }
 
+void HrmcReceiver::forward_child_nak(Seq from, Seq to) {
+  if (!seq_before(from, to)) return;
+  stats_.naks_forwarded++;
+  trace_.emit(trace::EventKind::kNakForward, from, to, rcv_nxt_);
+  // Forwarded upward as our own NAK: seq carries the subtree minimum so
+  // the sender's record for this repairer never outruns a laggard leaf.
+  emit(PacketType::kNak, report_position(), from,
+       static_cast<std::uint32_t>(seq_diff(from, to)), answering_probe_);
+}
+
 void HrmcReceiver::emit(PacketType type, Seq seq, std::uint32_t rate,
                         std::uint32_t length, bool urg) {
-  if (sender_addr_ == 0) return;  // nowhere to send feedback yet
+  const net::Addr target = feedback_target();
+  if (target == 0) return;  // nowhere to send feedback yet
+  emit_to(target, type, seq, rate, length, urg);
+}
+
+void HrmcReceiver::emit_to(net::Addr daddr, PacketType type, Seq seq,
+                           std::uint32_t rate, std::uint32_t length,
+                           bool urg) {
   kern::SkBuffPtr skb = kern::SkBuff::alloc(0, Header::kSize + 44);
   Header h;
   h.sport = group_.port;
@@ -706,7 +928,7 @@ void HrmcReceiver::emit(PacketType type, Seq seq, std::uint32_t rate,
   h.type = type;
   h.urg = urg;
   write_header(*skb, h);
-  skb->daddr = sender_addr_;
+  skb->daddr = daddr;
   skb->protocol = kIpProtoHrmc;
   host_.send(std::move(skb));
 }
@@ -761,7 +983,13 @@ void HrmcReceiver::maybe_stall_rejoin(sim::SimTime now) {
 
 void HrmcReceiver::update_timer_fire() {
   maybe_stall_rejoin(host_.scheduler().now());
-  send_update();
+  if (repair_) {
+    // The repairer's periodic report is the aggregate, never its own
+    // position alone: one packet per subtree replaces one per leaf.
+    repair_->send_aggregate(/*solicited=*/false);
+  } else {
+    send_update();
+  }
   if (cfg_.dynamic_update_timer) {
     // §3 "Dynamic Update Timers": probes mean the sender is starved for
     // information — speed up; silence means updates suffice — back off.
@@ -784,6 +1012,21 @@ void HrmcReceiver::update_timer_fire() {
 }
 
 void HrmcReceiver::join_timer_fire() {
+  // A JOIN handshake that keeps timing out against a repair parent means
+  // the parent is dead or unreachable before we ever registered: fail
+  // over to the sender before burning the whole retry budget.
+  if (join_state_ == JoinState::kJoining && repair_parent_ != 0 &&
+      !repair_failed_over_ && sender_addr_ != 0 &&
+      join_tries_ >= cfg_.repair_failover_naks) {
+    repair_failed_over_ = true;
+    stats_.repair_failovers++;
+  }
+  // Deferred repairer leave (see close()): retry until the children
+  // have detached or the budget is spent, then leave for real.
+  if (rehome_tries_ > 0 && join_state_ == JoinState::kJoined) {
+    close();
+    return;
+  }
   if (join_state_ == JoinState::kJoining && join_tries_ < kMaxJoinTries) {
     send_join();
   } else if (join_state_ == JoinState::kLeaving) {

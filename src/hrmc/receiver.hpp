@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -34,9 +35,12 @@
 #include "hrmc/wire.hpp"
 #include "kern/timer.hpp"
 #include "net/host.hpp"
+#include "sim/random.hpp"
 #include "trace/trace.hpp"
 
 namespace hrmc::proto {
+
+class RepairAgent;
 
 class HrmcReceiver final : public net::Transport {
  public:
@@ -133,6 +137,23 @@ class HrmcReceiver final : public net::Transport {
   /// Attaches a trace sink (see HrmcSender::set_trace).
   void set_trace(trace::TraceSink sink) { trace_ = sink; }
 
+  // --- Hierarchical repair (million-receiver scaling extension) ---
+
+  /// Promotes this receiver to the designated local repairer of its
+  /// router subtree: it accepts JOIN/UPDATE/NAK/CONTROL/LEAVE from
+  /// child receivers, answers child NAKs from a bounded payload cache,
+  /// aggregates child positions into one AGG_UPDATE per subtree toward
+  /// the sender, and forwards only unrepairable NAKs upward.
+  void enable_repairer();
+  [[nodiscard]] bool is_repairer() const { return repair_ != nullptr; }
+
+  /// Re-homes this receiver's feedback (JOIN, UPDATE, NAK, CONTROL,
+  /// LEAVE) to a local repairer instead of the sender. Data still
+  /// arrives via multicast. If the repairer stops making progress the
+  /// receiver fails over to the sender (Config::repair_failover_naks).
+  void set_repair_parent(net::Addr parent);
+  [[nodiscard]] net::Addr repair_parent() const { return repair_parent_; }
+
   // --- net::Transport ---
   void rx(kern::SkBuffPtr skb) override;
 
@@ -146,6 +167,8 @@ class HrmcReceiver final : public net::Transport {
     kern::SkBuffPtr skb;  // payload only (header already stripped)
   };
 
+  friend class RepairAgent;
+
   // Packet handlers.
   void process_data(const Header& h, kern::SkBuffPtr skb);
   void process_fec(const Header& h, kern::SkBuffPtr skb);
@@ -154,6 +177,11 @@ class HrmcReceiver final : public net::Transport {
   void process_join_response(const Header& h);
   void process_leave_response(const Header& h);
   void process_nak_err(const Header& h);
+  /// Another member's NAK, overheard on the subtree multicast (SRM
+  /// suppression): defer our own overlapping pending NAKs.
+  void process_peer_nak(const Header& h, net::Addr from);
+  /// Random NAK delay in [0, nak_backoff_rtts * srtt) (SRM suppression).
+  [[nodiscard]] sim::SimTime suppression_backoff();
 
   // Reassembly helpers.
   void insert_out_of_order(kern::Seq begin, kern::Seq end,
@@ -177,6 +205,22 @@ class HrmcReceiver final : public net::Transport {
   void send_leave();
   void emit(PacketType type, kern::Seq seq, std::uint32_t rate,
             std::uint32_t length, bool urg = false);
+  void emit_to(net::Addr daddr, PacketType type, kern::Seq seq,
+               std::uint32_t rate, std::uint32_t length, bool urg = false);
+  /// Where feedback goes: the repair parent while it is answering, the
+  /// sender otherwise.
+  [[nodiscard]] net::Addr feedback_target() const {
+    if (repair_parent_ != 0 && !repair_failed_over_) return repair_parent_;
+    return sender_addr_;
+  }
+  /// Stream position reported upward. A repairer reports its *subtree
+  /// minimum*, never its own rcv_nxt_: the sender's membership record
+  /// for a repairer stands for every leaf under it, so advancing it past
+  /// a laggard child would release data that child still needs.
+  [[nodiscard]] kern::Seq report_position() const;
+  /// Repairer path: a child NAK range the payload cache could not serve
+  /// goes upstream to the sender.
+  void forward_child_nak(kern::Seq from, kern::Seq to);
 
   // Timers.
   void nak_timer_fire();
@@ -278,6 +322,9 @@ class HrmcReceiver final : public net::Transport {
   sim::SimTime join_sent_at_ = 0;
   int join_tries_ = 0;
   int leave_tries_ = 0;
+  /// Multicast re-home rounds sent before a repairer's own LEAVE
+  /// (close() defers departure until the subtree detaches).
+  int rehome_tries_ = 0;
 
   kern::TimerList nak_timer_;
   kern::TimerList update_timer_;
@@ -293,6 +340,19 @@ class HrmcReceiver final : public net::Transport {
   /// True while handling a PROBE: feedback emitted now is solicited and
   /// carries the URG mark so the sender may time it as a round trip.
   bool answering_probe_ = false;
+
+  // --- Million-receiver scaling ---
+  /// Repairer role state (hierarchical repair); null unless
+  /// enable_repairer() was called.
+  std::unique_ptr<RepairAgent> repair_;
+  /// Local repairer this receiver's feedback is homed to (0 = sender).
+  net::Addr repair_parent_ = 0;
+  /// Sticky failover to the sender after the repairer stopped answering.
+  bool repair_failed_over_ = false;
+  /// Suppression backoff draws (SRM). Dedicated per-receiver substream:
+  /// consuming it never perturbs any other randomness in the run, and it
+  /// is only drawn while cfg_.nak_suppression is on.
+  sim::Rng feedback_rng_;
 };
 
 }  // namespace hrmc::proto

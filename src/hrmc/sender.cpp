@@ -454,7 +454,21 @@ void HrmcSender::probe_lacking_members(Seq release_seq) {
     for (McMember* m : lacking) mark_probed(*m);
     return;
   }
-  for (McMember* m : lacking) {
+  // Per-round cap: a cold 10k-member table must not burst 10k unicast
+  // probes into one jiffy. The rotating cursor puts deferred members
+  // first in line next round; their last_probed is untouched, so the
+  // spacing check re-selects them immediately.
+  std::size_t count = lacking.size();
+  std::size_t start = 0;
+  if (cfg_.max_probes_per_round > 0 &&
+      lacking.size() > cfg_.max_probes_per_round) {
+    stats_.probes_deferred += lacking.size() - cfg_.max_probes_per_round;
+    start = probe_cursor_ % lacking.size();
+    count = cfg_.max_probes_per_round;
+    probe_cursor_ = (start + count) % lacking.size();
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    McMember* m = lacking[(start + i) % lacking.size()];
     emit_control_packet(PacketType::kProbe, m->addr, release_seq,
                         rate_.rate(), 0);
     stats_.probes_sent++;
@@ -527,6 +541,7 @@ void HrmcSender::rx(kern::SkBuffPtr skb) {
     case PacketType::kNak: process_nak(*h, from); break;
     case PacketType::kControl: process_control(*h, from); break;
     case PacketType::kUpdate: process_update(*h, from); break;
+    case PacketType::kAggUpdate: process_agg_update(*h, from); break;
     case PacketType::kJoin: process_join(*h, from); break;
     case PacketType::kLeave: process_leave(*h, from); break;
     default:
@@ -768,6 +783,57 @@ void HrmcSender::process_control(const Header& h, net::Addr from) {
 void HrmcSender::process_update(const Header& h, net::Addr from) {
   stats_.updates_received++;
   refresh_member(from, h.seq, /*solicited=*/h.urg);
+}
+
+void HrmcSender::process_agg_update(const Header& h, net::Addr from) {
+  stats_.agg_updates_received++;
+  // The aggregate is the minimum over the repairer's subtree, so it may
+  // legitimately move *backward* (a laggard child registered under the
+  // repairer after its last report). refresh_member's monotone
+  // advance() would ignore that and release data the new child still
+  // needs — this is the one feedback path that sets the position in
+  // either direction. Clamp into [snd_wnd_, snd_nxt_]: beyond the head
+  // would release window the subtree never earned; below the window
+  // names bytes already gone, which gating on would wedge the release
+  // head forever.
+  Seq pos = h.seq;
+  if (seq_after(pos, snd_nxt_)) {
+    stats_.feedback_clamped++;
+    pos = snd_nxt_;
+  }
+  if (seq_before(pos, snd_wnd_)) pos = snd_wnd_;
+
+  McMember* m = members_.find(from);
+  if (m == nullptr) {
+    const auto tomb = recently_left_.find(from);
+    if (tomb != recently_left_.end()) {
+      if (host_.scheduler().now() - tomb->second < kLeaveTombstone) {
+        stats_.ghost_feedback_ignored++;
+        return;
+      }
+      recently_left_.erase(tomb);
+    }
+    // Adoption, as for any feedback: after a sender restart (or a lost
+    // JOIN) the repairer's periodic aggregates rebuild its record.
+    m = members_.add(from, pos);
+  }
+  const sim::SimTime now = host_.scheduler().now();
+  members_.set_position(m, pos);
+  members_.set_multiplicity(m, std::max<std::uint32_t>(h.rate, 1));
+  m->heard_from = true;
+  m->last_heard = now;
+  if (m->probe_pending) {
+    if (h.urg) {
+      // Solicited (probe-answering) aggregate: clean RTT sample, same
+      // rule as refresh_member.
+      rtt_.sample(now - m->last_probed);
+      m->probe_pending = false;
+      m->probe_retries = 0;
+    } else if (seq_after_eq(pos, m->probe_seq)) {
+      m->probe_pending = false;
+      m->probe_retries = 0;
+    }
+  }
 }
 
 void HrmcSender::process_join(const Header& h, net::Addr from) {

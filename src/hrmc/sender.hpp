@@ -172,6 +172,10 @@ class HrmcSender final : public net::Transport {
   void process_nak(const Header& h, net::Addr from);
   void process_control(const Header& h, net::Addr from);
   void process_update(const Header& h, net::Addr from);
+  /// AGG_UPDATE from a subtree repairer or a modeled population: seq is
+  /// the subtree *minimum*, rate the represented leaf count. The only
+  /// feedback path allowed to regress a membership record.
+  void process_agg_update(const Header& h, net::Addr from);
   void process_join(const Header& h, net::Addr from);
   void process_leave(const Header& h, net::Addr from);
   McMember* refresh_member(net::Addr addr, kern::Seq next_expected,
@@ -257,6 +261,9 @@ class HrmcSender final : public net::Transport {
   kern::Seq lacking_gate_ = 0;
   std::uint64_t lacking_version_ = 0;
   bool lacking_valid_ = false;
+  /// Rotating start index for capped probe rounds, so members deferred
+  /// by Config::max_probes_per_round are first in line next round.
+  std::size_t probe_cursor_ = 0;
 
   // Join-batching state (active when cfg_.join_batch_threshold > 0):
   // JOINs arriving in one burst beyond the threshold are answered with

@@ -14,12 +14,18 @@ struct SenderStats {
   std::uint64_t keepalives_sent = 0;
   std::uint64_t probes_sent = 0;
   std::uint64_t probe_rounds = 0;  ///< release attempts that had to probe
+  /// Probes pushed to a later round by the per-round cap (a cold 10k
+  /// table must not emit one 10k-packet burst).
+  std::uint64_t probes_deferred = 0;
 
   // Feedback arriving at the sender (Fig 11/13/15b/16b count these)
   std::uint64_t naks_received = 0;
   std::uint64_t rate_requests_received = 0;
   std::uint64_t urgent_requests_received = 0;
   std::uint64_t updates_received = 0;
+  /// Aggregated subtree UPDATEs (hierarchical repair): each carries the
+  /// subtree's min next_expected and the member count it stands for.
+  std::uint64_t agg_updates_received = 0;
   std::uint64_t joins_received = 0;
   std::uint64_t leaves_received = 0;
 
@@ -72,6 +78,9 @@ struct ReceiverStats {
 
   std::uint64_t naks_sent = 0;
   std::uint64_t naks_suppressed = 0;
+  /// SRM-style suppression: a backoff-delayed NAK cancelled (deferred)
+  /// because another member's NAK for the same range was overheard.
+  std::uint64_t naks_peer_suppressed = 0;
   std::uint64_t rate_requests_sent = 0;
   std::uint64_t urgent_requests_sent = 0;
   std::uint64_t updates_sent = 0;
@@ -89,6 +98,12 @@ struct ReceiverStats {
   /// Stalled-data re-JOINs: mid-stream re-grafts after data silence
   /// (link flap / route reconvergence repaired the path around us).
   std::uint64_t stall_rejoins = 0;
+
+  // Hierarchical repair (local repairer role / repairer children)
+  std::uint64_t repairs_served = 0;     ///< child NAK ranges answered from cache
+  std::uint64_t naks_forwarded = 0;     ///< child NAK ranges sent upstream
+  std::uint64_t agg_updates_sent = 0;   ///< subtree UPDATEs emitted upward
+  std::uint64_t repair_failovers = 0;   ///< children that fell back to the sender
 
   // FEC extension (§6 future work (4))
   std::uint64_t fec_packets_received = 0;

@@ -26,6 +26,7 @@ std::string_view packet_type_name(PacketType t) {
     case PacketType::kUpdate: return "UPDATE";
     case PacketType::kProbe: return "PROBE";
     case PacketType::kFec: return "FEC";
+    case PacketType::kAggUpdate: return "AGG_UPDATE";
   }
   return "UNKNOWN";
 }
@@ -59,7 +60,7 @@ std::optional<Header> peek_header(const kern::SkBuff& skb) {
   const std::uint8_t tf = p[19];
   const std::uint8_t raw_type = tf & kTypeMask;
   if (raw_type < static_cast<std::uint8_t>(PacketType::kData) ||
-      raw_type > static_cast<std::uint8_t>(PacketType::kFec)) {
+      raw_type > static_cast<std::uint8_t>(PacketType::kAggUpdate)) {
     return std::nullopt;
   }
   h.type = static_cast<PacketType>(raw_type);

@@ -44,6 +44,12 @@
 //  - FEC:       seq = first byte of the protected group, rate = the
 //               group's span in bytes (k*mss), length = parity payload
 //               size; payload = XOR of the k data payloads.
+//  - AGG_UPDATE: hierarchical-repair extension. seq = the minimum next
+//               expected byte across the subtree the emitter represents,
+//               rate = the number of members it stands for (itself plus
+//               registered children / modeled population). URG set when
+//               the aggregate answers a PROBE (solicited, same timing
+//               contract as UPDATE).
 #pragma once
 
 #include <cstdint>
@@ -76,6 +82,10 @@ enum class PacketType : std::uint8_t {
   kUpdate = 10,  // H-RMC only
   kProbe = 11,   // H-RMC only
   kFec = 12,     // extension (§6 future work (4)); not in Table 1
+  /// Aggregated subtree UPDATE (hierarchical repair extension): one
+  /// message carries (min next_expected, member multiplicity) for a
+  /// whole router subtree. Not in Table 1.
+  kAggUpdate = 13,
 };
 
 std::string_view packet_type_name(PacketType t);

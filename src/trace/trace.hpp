@@ -71,6 +71,13 @@ enum class EventKind : std::uint8_t {
   kRejoin = 30,       ///< stalled-data re-JOIN sent; seq = rcv_nxt
   kLeave = 31,        ///< clean close()/LEAVE; seq = rcv_nxt, value = addr
 
+  // Hierarchical repair / SRM suppression (repairer role + children).
+  kAggUpdate = 32,  ///< subtree UPDATE sent; seq = subtree min, value = count
+  kNakPeerSuppress = 33,  ///< NAK deferred on overheard peer NAK; seq = rcv_nxt
+  kRepairTx = 34,   ///< repairer answered a child NAK; [seq range) re-sent
+  kNakForward = 35, ///< repairer forwarded a child NAK up; [missing range),
+                    ///< value = repairer rcv_nxt
+
   // Network (net::Router / net::Nic).
   kEnqueue = 40,     ///< router egress enqueue; value = wire size
   kDrop = 41,        ///< packet dropped; value = wire size, aux = reason
@@ -117,6 +124,11 @@ static_assert(sizeof(TraceRecord) == 32, "trace records are 32-byte POD");
 static_assert(std::is_trivially_copyable_v<TraceRecord>);
 
 constexpr std::uint8_t kFlagSolicited = 1;
+/// On kJoined: the host joined a local repairer, not the sender — its
+/// feedback is aggregated into the repairer's subtree AGG_UPDATEs, so
+/// release safety is judged against the subtree minimum, never against
+/// this host's own (repairer-directed) reports.
+constexpr std::uint8_t kFlagAggregated = 2;
 
 // Host-id convention (shared with harness::run_transfer, trace::verify
 // and tools/check_trace.py): the sender is 0, receiver i is 1+i,

@@ -36,6 +36,10 @@ const char* kind_name(EventKind k) {
     case EventKind::kResync: return "resync";
     case EventKind::kRejoin: return "rejoin";
     case EventKind::kLeave: return "leave";
+    case EventKind::kAggUpdate: return "agg_update";
+    case EventKind::kNakPeerSuppress: return "nak_peer_suppress";
+    case EventKind::kRepairTx: return "repair_tx";
+    case EventKind::kNakForward: return "nak_forward";
     case EventKind::kNakEmit: return "nak";
     case EventKind::kNakSuppress: return "nak_suppress";
     case EventKind::kUpdate: return "update";
@@ -59,6 +63,9 @@ namespace {
 struct RcvState {
   bool armed = false;   ///< kJoined seen: participates in the gate
   bool exempt = false;  ///< crashed / evicted / dead-released
+  /// Joined a local repairer (kFlagAggregated): release safety for this
+  /// host is carried by its repairer's AGG_UPDATE subtree minimum.
+  bool aggregated = false;
   Seq high = 0;         ///< highest rcv_nxt this receiver ever reported
 };
 
@@ -240,6 +247,12 @@ class Verifier {
         RcvState& s = rcv(r.host);
         s.armed = true;
         s.exempt = false;
+        // Aggregated child (joined a local repairer): its position
+        // reaches the sender only through the repairer's AGG_UPDATE
+        // subtree minimum, so release safety is judged against that
+        // aggregate, not this host's own reports. A later flat re-JOIN
+        // (failover to the sender) re-arms it as a direct member.
+        s.aggregated = (r.flags & kFlagAggregated) != 0;
         s.high = r.seq_begin;
         addr_to_host_[r.value] = r.host;
         break;
@@ -266,9 +279,21 @@ class Verifier {
       case EventKind::kUpdate:
       case EventKind::kRateRequest:
       case EventKind::kNakSuppress:
+      case EventKind::kNakPeerSuppress:
+        note_coverage(r, r.seq_begin);
+        break;
+      case EventKind::kAggUpdate:
+        // Aggregated subtree UPDATE: seq_begin is the *minimum* over the
+        // represented leaves, so raising the emitter's high-water with it
+        // is conservative — release safety is judged against subtree
+        // minima, never against a leaf the aggregate outran.
         note_coverage(r, r.seq_begin);
         break;
       case EventKind::kNakEmit:
+      case EventKind::kNakForward:
+        // A forwarded child NAK binds the sender exactly like a leaf NAK:
+        // the repairer could not serve it locally, so only the sender's
+        // (multicast) retransmission can answer it.
         note_coverage(r, static_cast<Seq>(r.value));
         if (opt_.check_nak) add_pending_nak(r);
         break;
@@ -298,6 +323,12 @@ class Verifier {
         if (opt_.check_nak) answer_naks(r, r.seq_begin, r.seq_end);
         if (opt_.check_rate) account_send(r);
         break;
+      case EventKind::kRepairTx:
+        // A local repair answers the child's pending NAK but spends no
+        // sender-rate tokens: the repairer's unicast re-send never
+        // crosses the sender's paced uplink.
+        if (opt_.check_nak) answer_naks(r, r.seq_begin, r.seq_end);
+        break;
       case EventKind::kNakErr:
         if (opt_.check_nak) answer_naks(r, r.seq_begin, r.seq_end);
         break;
@@ -312,7 +343,7 @@ class Verifier {
         if (opt_.check_release) {
           ++res_.releases_checked;
           for (const auto& [host, s] : receivers_) {
-            if (!s.armed || s.exempt) continue;
+            if (!s.armed || s.exempt || s.aggregated) continue;
             if (seq_before(s.high, r.seq_end)) {
               violate(r, "released through " + std::to_string(r.seq_end) +
                              " but host " + std::to_string(host) +

@@ -3,11 +3,23 @@
 
 Usage:
     check_bench.py CURRENT.json BASELINE.json [--max-regress 0.20]
+                   [--suite NAME]
 
-For every entry/metric pair present in the baseline, the current report
-must reach at least (1 - max_regress) * baseline value. Metrics in the
-current report that the baseline does not mention are ignored, so the
-baseline only needs to pin the metrics worth gating (events_per_sec).
+The baseline's entries may carry two kinds of gated metrics:
+
+  "metrics":     floors — the current report must reach at least
+                 (1 - max_regress) * baseline value (events/sec,
+                 completed flags).
+  "max_metrics": ceilings — the current report must stay at or below
+                 (1 + max_regress) * baseline value (probe counts,
+                 feedback packets, per-release scan work: numbers where
+                 *growth* is the regression).
+
+One baseline file serves several bench binaries: an entry tagged with a
+"suite" field is gated only when --suite names it; untagged entries are
+gated only when --suite is absent (the original single-suite behavior).
+Metrics in the current report that the baseline does not mention are
+ignored, so the baseline only needs to pin the metrics worth gating.
 Exits non-zero, listing every violation, if any metric regresses.
 Python stdlib only.
 """
@@ -26,28 +38,40 @@ def entry_map(report):
     return {e["name"]: e.get("metrics", {}) for e in report.get("entries", [])}
 
 
+def numeric(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("current")
     ap.add_argument("baseline")
     ap.add_argument("--max-regress", type=float, default=0.20,
                     help="allowed fractional shortfall vs baseline")
+    ap.add_argument("--suite", default=None,
+                    help="gate only baseline entries tagged with this "
+                         "suite (default: untagged entries)")
     args = ap.parse_args()
 
     current = entry_map(load(args.current))
-    baseline = entry_map(load(args.baseline))
+    baseline_entries = load(args.baseline).get("entries", [])
 
     failures = []
-    for name, metrics in baseline.items():
+    for entry in baseline_entries:
+        if entry.get("suite") != args.suite:
+            continue
+        name = entry["name"]
+        floors = entry.get("metrics", {})
+        ceilings = entry.get("max_metrics", {})
         if name not in current:
             failures.append(f"{name}: missing from {args.current}")
             continue
-        for key, want in metrics.items():
+        for key, want in floors.items():
             have = current[name].get(key)
             if have is None:
                 failures.append(f"{name}.{key}: missing from {args.current}")
                 continue
-            if not isinstance(have, (int, float)) or isinstance(have, bool):
+            if not numeric(have):
                 # Reports may carry non-numeric extras (time-series
                 # lists, labels); only numeric metrics are gateable.
                 failures.append(f"{name}.{key}: non-numeric in "
@@ -61,6 +85,23 @@ def main():
                 failures.append(
                     f"{name}.{key}: {have:.0f} < floor {floor:.0f} "
                     f"({args.max_regress:.0%} under baseline {want:.0f})")
+        for key, want in ceilings.items():
+            have = current[name].get(key)
+            if have is None:
+                failures.append(f"{name}.{key}: missing from {args.current}")
+                continue
+            if not numeric(have):
+                failures.append(f"{name}.{key}: non-numeric in "
+                                f"{args.current}")
+                continue
+            ceiling = want * (1.0 + args.max_regress)
+            status = "OK" if have <= ceiling else "FAIL"
+            print(f"{status:4} {name}.{key}: {have:.2f} "
+                  f"(baseline {want:.2f}, ceiling {ceiling:.2f})")
+            if have > ceiling:
+                failures.append(
+                    f"{name}.{key}: {have:.2f} > ceiling {ceiling:.2f} "
+                    f"({args.max_regress:.0%} over baseline {want:.2f})")
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)

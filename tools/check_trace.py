@@ -40,6 +40,10 @@ HALF = 1 << 31
 JIFFY_S = 0.01
 RECEIVER_HOST_MAX = 900
 
+# kJoined flag bit: the host joined a local repairer (trace.hpp's
+# kFlagAggregated) — its feedback is aggregated into subtree AGG_UPDATEs.
+FLAG_AGGREGATED = 2
+
 
 def sdiff(a, b):
     """Signed modular distance a - b (kern::seq_diff)."""
@@ -91,7 +95,10 @@ class Checker:
             "t={} host={} {}: {}".format(r["t"], r["host"], r["kind"], what))
 
     def state(self, host):
-        return self.rcv.setdefault(host, [False, False, 0])
+        # [armed, exempt, high, aggregated]; aggregated = joined a local
+        # repairer, so release safety is carried by the repairer's
+        # AGG_UPDATE subtree minimum, not this host's own reports.
+        return self.rcv.setdefault(host, [False, False, 0, False])
 
     def note_coverage(self, r, reported):
         s = self.state(r["host"])
@@ -206,6 +213,7 @@ class Checker:
         if k == "joined":
             s = self.state(host)
             s[0], s[1], s[2] = True, False, r["seq_begin"]
+            s[3] = bool(r.get("flags", 0) & FLAG_AGGREGATED)
             self.addr_to_host[r["value"]] = host
         elif k == "resync":
             s = self.state(host)
@@ -214,9 +222,22 @@ class Checker:
                 self.drop_host(host)
         elif k == "resync_join":
             self.state(host)[1] = True
-        elif k in ("update", "rate_request", "nak_suppress"):
+        elif k in ("update", "rate_request", "nak_suppress",
+                   "nak_peer_suppress"):
             self.note_coverage(r, r["seq_begin"])
-        elif k == "nak":
+        elif k == "agg_update":
+            # Aggregated subtree UPDATE: seq_begin is the minimum over
+            # the represented leaves, so it is raise-only coverage for
+            # the emitter — a lower aggregate than the emitter's own
+            # high-water is a laggard child registering, not counter
+            # drift, so the monotonicity check does not apply.
+            s = self.state(r["host"])
+            if s[0] and before(s[2], r["seq_begin"]):
+                s[2] = r["seq_begin"]
+            self.clear_below(r["host"], r["seq_begin"])
+        elif k in ("nak", "nak_forward"):
+            # A forwarded child NAK binds the sender exactly like a leaf
+            # NAK: the repairer could not serve it locally.
             self.note_coverage(r, r["value"] % M)
             if self.check_nak:
                 self.add_pending(r)
@@ -251,6 +272,11 @@ class Checker:
                 self.answer(r, r["seq_begin"], r["seq_end"])
             if self.check_rate:
                 self.account_send(r)
+        elif k == "repair_tx":
+            # Local repair answers the child's NAK but spends no
+            # sender-rate tokens (it never crosses the paced uplink).
+            if self.check_nak:
+                self.answer(r, r["seq_begin"], r["seq_end"])
         elif k == "nak_err":
             if self.check_nak:
                 self.answer(r, r["seq_begin"], r["seq_end"])
@@ -276,7 +302,8 @@ class Checker:
             if self.check_release:
                 self.releases += 1
                 for h, s in self.rcv.items():
-                    if s[0] and not s[1] and before(s[2], r["seq_end"]):
+                    if s[0] and not s[1] and not s[3] and \
+                            before(s[2], r["seq_end"]):
                         self.violate(r, "released through {} but host {} "
                                      "only reported {}".format(
                                          r["seq_end"], h, s[2]))
