@@ -38,6 +38,12 @@ class SourceApp {
   [[nodiscard]] std::uint64_t bytes_offered() const { return offered_; }
   [[nodiscard]] sim::SimTime started_at() const { return started_at_; }
 
+  /// Disk-jitter RNG end-state (a fixed constant when no disk is
+  /// attached, so memory-to-memory digests stay comparable).
+  [[nodiscard]] std::uint64_t rng_digest() const {
+    return disk_ ? disk_->rng_digest() : 0x5ca1ab1eULL;
+  }
+
  private:
   void pump();          ///< offer pending chunk bytes to the socket
   void fetch_chunk();   ///< model the disk read, then pump
@@ -84,6 +90,11 @@ class SinkApp {
 
   [[nodiscard]] std::uint64_t bytes_read() const { return offset_; }
   [[nodiscard]] bool verify_failed() const { return verify_failed_; }
+
+  /// Disk-jitter RNG end-state (constant when no disk is attached).
+  [[nodiscard]] std::uint64_t rng_digest() const {
+    return disk_ ? disk_->rng_digest() : 0x5ca1ab1eULL;
+  }
 
  private:
   void maybe_read();

@@ -45,6 +45,9 @@ class DiskModel {
 
   [[nodiscard]] std::uint64_t position() const { return pos_; }
 
+  /// Folded end-state of the jitter RNG — part of RunResult::rng_digest.
+  [[nodiscard]] std::uint64_t rng_digest() const { return rng_.digest(); }
+
  private:
   DiskConfig cfg_;
   sim::Rng rng_;

@@ -1,37 +1,27 @@
 #include "harness/parallel.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <exception>
-#include <string>
 #include <thread>
+
+#include "harness/thread_budget.hpp"
 
 namespace hrmc::harness {
 
-namespace {
-
-unsigned resolve_threads(unsigned requested) {
-  if (requested != 0) return requested;
-  if (const char* env = std::getenv("HRMC_BENCH_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<unsigned>(v);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw != 0 ? hw : 1;
-}
-
-}  // namespace
-
 ParallelRunner::ParallelRunner(unsigned threads)
-    : threads_(resolve_threads(threads)) {}
+    : threads_(threads != 0 ? threads : thread_budget()) {}
 
 std::vector<RunResult> ParallelRunner::run_all(
     const std::vector<Scenario>& cells) const {
   std::vector<RunResult> results(cells.size());
   if (cells.empty()) return results;
 
+  // The lease pins our share of the process budget while the pool is
+  // live, so sharded cells running under this sweep see the claim and
+  // size their engines from the leftover instead of oversubscribing.
+  ThreadLease lease(threads_);
   const unsigned workers =
-      std::min<std::size_t>(threads_, cells.size());
+      std::min<std::size_t>(lease.count(), cells.size());
   if (workers <= 1) {
     for (std::size_t i = 0; i < cells.size(); ++i) {
       results[i] = run_transfer(cells[i]);

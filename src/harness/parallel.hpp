@@ -21,10 +21,13 @@ namespace hrmc::harness {
 
 class ParallelRunner {
  public:
-  /// `threads == 0` resolves the worker count from the
-  /// HRMC_BENCH_THREADS environment variable if set (a value of 1
-  /// forces serial execution, e.g. for timing a baseline), otherwise
-  /// from std::thread::hardware_concurrency().
+  /// `threads == 0` resolves the worker count from the shared harness
+  /// budget (thread_budget(): HRMC_BENCH_THREADS if set — 1 forces
+  /// serial execution, e.g. for timing a baseline — otherwise
+  /// hardware_concurrency()). A nonzero count is taken as-is. While
+  /// run_all() is live the pool holds a ThreadLease, so sharded-engine
+  /// runs dispatched from inside a sweep compose against the same
+  /// budget instead of multiplying with it.
   explicit ParallelRunner(unsigned threads = 0);
 
   [[nodiscard]] unsigned threads() const { return threads_; }

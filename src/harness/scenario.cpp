@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "harness/run_detail.hpp"
 #include "hrmc/modeled.hpp"
 #include "hrmc/receiver.hpp"
 #include "hrmc/sender.hpp"
@@ -12,21 +13,12 @@
 
 namespace hrmc::harness {
 
-namespace {
-constexpr net::Addr kGroupAddr = net::make_addr(224, 5, 5, 5);
-constexpr net::Port kGroupPort = 7500;
-
-/// Control-plane classifier for chaos control-loss faults: everything
-/// except the payload-bearing types (DATA, FEC) is control. Undecodable
-/// packets are not control — they die at the checksum either way.
-bool is_control_packet(const kern::SkBuff& skb) {
-  const auto h = proto::peek_header(skb);
-  return h && h->type != proto::PacketType::kData &&
-         h->type != proto::PacketType::kFec;
-}
-}  // namespace
+using detail::is_control_packet;
+using detail::kGroupAddr;
+using detail::kGroupPort;
 
 RunResult run_transfer(const Scenario& sc) {
+  if (sc.shard.enabled) return detail::run_transfer_sharded(sc);
   sim::Scheduler sched;
   net::Topology topo(sched, sc.topo);
 
@@ -316,45 +308,21 @@ RunResult run_transfer(const Scenario& sc) {
   res.evicted_count = res.sender.members_evicted;
   res.member_min_rescans = snd.members().min_rescans();
   res.member_min_rescan_work = snd.members().min_rescan_work();
-  const auto accumulate = [&res](const proto::ReceiverStats& rs) {
-    res.per_receiver.push_back(rs);
-    auto& t = res.receivers_total;
-    t.data_packets_received += rs.data_packets_received;
-    t.data_bytes_received += rs.data_bytes_received;
-    t.duplicate_packets += rs.duplicate_packets;
-    t.out_of_order_packets += rs.out_of_order_packets;
-    t.window_overflow_drops += rs.window_overflow_drops;
-    t.naks_sent += rs.naks_sent;
-    t.naks_suppressed += rs.naks_suppressed;
-    t.naks_peer_suppressed += rs.naks_peer_suppressed;
-    t.naks_forwarded += rs.naks_forwarded;
-    t.rate_requests_sent += rs.rate_requests_sent;
-    t.urgent_requests_sent += rs.urgent_requests_sent;
-    t.updates_sent += rs.updates_sent;
-    t.agg_updates_sent += rs.agg_updates_sent;
-    t.repairs_served += rs.repairs_served;
-    t.repair_failovers += rs.repair_failovers;
-    t.probes_received += rs.probes_received;
-    t.keepalives_received += rs.keepalives_received;
-    t.nak_errs_received += rs.nak_errs_received;
-    t.bytes_delivered += rs.bytes_delivered;
-    t.bad_packets += rs.bad_packets;
-    t.join_fast_retries += rs.join_fast_retries;
-    t.fec_packets_received += rs.fec_packets_received;
-    t.fec_recoveries += rs.fec_recoveries;
-    t.fec_stale_groups += rs.fec_stale_groups;
-    t.stall_rejoins += rs.stall_rejoins;
-  };
   for (std::size_t i = 0; i < rcv_socks.size(); ++i) {
     if (rcv_socks[i]) {
-      accumulate(rcv_socks[i]->stats());
+      detail::accumulate_receiver_stats(res, rcv_socks[i]->stats());
       if (rcv_socks[i]->stream_error()) res.any_stream_error = true;
       if (sinks[i]->verify_failed()) res.verify_ok = false;
     } else {
-      accumulate(modeled_socks[i]->stats());
+      detail::accumulate_receiver_stats(res, modeled_socks[i]->stats());
       res.modeled_leaves += modeled_socks[i]->population();
     }
   }
+
+  res.events_executed = sched.executed();
+  res.sched_compactions = sched.compactions();
+  res.rng_digest =
+      detail::fold_run_digest(topo, rcv_socks, modeled_socks, sinks, source);
 
   res.sender_nic_tx_drops =
       topo.sender().nic()->counters().get("tx_ring_drops");

@@ -79,6 +79,30 @@ struct ModeledGroup {
   double leaf_loss = 0.0;
 };
 
+/// Multi-core sharded execution (sim::ShardEngine): the topology is cut
+/// into conservative-time domains — the sender/backbone in domain 0,
+/// each group's router subtree in its own domain — advanced in lockstep
+/// epochs whose width is the trunk's minimum packet service time. The
+/// result is bit-identical at every thread count (same per-domain event
+/// order, PRNG draws, trace records); "serial" for comparison purposes
+/// is this engine at threads = 1. The legacy single-Scheduler path
+/// (enabled = false) stays byte-for-byte what it always was; it can
+/// differ from the sharded schedule only in how same-timestamp events
+/// in different domains interleave. Incompatible with
+/// TraceOptions::sample_period (the Sampler reads live cross-domain
+/// state mid-window) — run_transfer throws on that combination.
+struct ShardOptions {
+  bool enabled = false;
+  /// Worker threads; 0 = the harness thread budget's leftover share
+  /// (composes with ParallelRunner under HRMC_BENCH_THREADS).
+  unsigned threads = 0;
+  /// Cap on domain count, including the sender's domain 0; groups wrap
+  /// round-robin over domains 1..max_domains-1. 0 = one domain per
+  /// group. Values <= 1 collapse everything into domain 0 (still runs
+  /// through the engine, epochs and all — useful for overhead tests).
+  std::size_t max_domains = 0;
+};
+
 struct Scenario {
   std::string name = "scenario";
   net::TopologyConfig topo;
@@ -105,6 +129,9 @@ struct Scenario {
   /// receiver — bit-identical to runs predating this field).
   std::vector<ModeledGroup> modeled;
   TraceOptions trace;
+  /// Sharded multi-core execution (off = legacy single scheduler,
+  /// bit-identical to runs predating this field).
+  ShardOptions shard;
 };
 
 struct RunResult {
@@ -139,6 +166,24 @@ struct RunResult {
   std::uint64_t trace_dropped = 0;  ///< oldest records the ring overwrote
   std::vector<trace::SamplePoint> samples;
 
+  // Engine-level replay identity. events_executed and rng_digest
+  // together pin a run's full schedule: the digest folds the end-state
+  // of every RNG stream in the simulation (routers, NICs, receivers,
+  // modeled populations, disk models) in a fixed component order, so
+  // two runs that agree on both executed the same draws in the same
+  // per-component order. The differential battery compares these — and
+  // the trace rings — between serial and sharded executions.
+  std::uint64_t events_executed = 0;
+  std::uint64_t sched_compactions = 0;  ///< tombstone sweeps (all domains)
+  std::uint64_t rng_digest = 0;
+
+  // Sharded-engine accounting (zero on the legacy path).
+  std::size_t shard_domains = 0;
+  std::uint64_t shard_epochs = 0;
+  std::uint64_t shard_handoffs = 0;
+  std::uint64_t shard_handoff_bytes = 0;
+  std::uint64_t shard_control_posts = 0;
+
   /// Fig 3 metric, percent.
   [[nodiscard]] double complete_info_pct() const {
     return sender.release_decisions == 0
@@ -151,6 +196,12 @@ struct RunResult {
 
 /// Runs one multicast file transfer described by `sc`.
 RunResult run_transfer(const Scenario& sc);
+
+namespace detail {
+/// Sharded-engine implementation behind run_transfer (dispatched when
+/// sc.shard.enabled). Exposed for the engine's own tests.
+RunResult run_transfer_sharded(const Scenario& sc);
+}  // namespace detail
 
 // --- Scenario builders -------------------------------------------------
 

@@ -1,0 +1,400 @@
+// Sharded run_transfer: the scenario of scenario.cpp executed on the
+// conservative-time multi-core engine (sim::ShardEngine).
+//
+// The cut follows the topology's natural seams: the sender host, its
+// NIC and the backbone router form domain 0; each receiver group's
+// whole router subtree (router, NICs, hosts, protocol endpoints, sink
+// apps, fault events) lands in the domain the group is mapped to. The
+// only cross-domain edges are the backbone<->group-router trunks, so
+// the engine's lookahead is the trunk's minimum packet service time.
+//
+// Everything observable is kept per-domain while the engine runs —
+// trace rings, fault injectors, app schedulers — and merged only after
+// it stops, so no worker ever touches another domain's state inside a
+// window. That is both the thread-safety argument (components are
+// written for one thread; skb refcounts are non-atomic) and the
+// determinism argument (the merge orders are fixed, independent of
+// thread count).
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/run_detail.hpp"
+#include "harness/scenario.hpp"
+#include "harness/thread_budget.hpp"
+#include "hrmc/modeled.hpp"
+#include "hrmc/receiver.hpp"
+#include "hrmc/sender.hpp"
+#include "hrmc/wire.hpp"
+#include "kern/skbuff.hpp"
+#include "sim/shard.hpp"
+
+namespace hrmc::harness::detail {
+
+namespace {
+
+/// Domain index each fault event must fire in: the domain owning every
+/// component the event touches (see fault.cpp — receiver-scoped kinds
+/// touch the receiver's host/NIC, group-scoped kinds the group's router
+/// or its NICs; nothing touches two domains).
+std::size_t fault_domain(const net::FaultEvent& ev, net::Topology& topo) {
+  switch (ev.kind) {
+    case net::FaultKind::kReceiverCrash:
+    case net::FaultKind::kReceiverRestart:
+    case net::FaultKind::kLinkDown:
+    case net::FaultKind::kLinkUp:
+      return ev.target < topo.receiver_count()
+                 ? topo.receiver_domain(ev.target)
+                 : 0;
+    default:
+      return ev.target < topo.group_count() ? topo.group_domain(ev.target)
+                                            : 0;
+  }
+}
+
+}  // namespace
+
+RunResult run_transfer_sharded(const Scenario& sc) {
+  if (sc.trace.enabled && sc.trace.sample_period > 0) {
+    // The Sampler reads live sender *and* receiver state on a period —
+    // a cross-domain read mid-window, which sharding forbids.
+    throw std::invalid_argument(
+        "run_transfer: TraceOptions::sample_period is incompatible with "
+        "sharded execution");
+  }
+
+  // Domain map: 0 = sender + backbone; groups round-robin over the
+  // rest. max_domains <= 1 collapses everything into domain 0 (the
+  // engine still runs, epochs and all — pure-overhead configuration).
+  const std::size_t groups = sc.topo.groups.size();
+  std::size_t domains = groups + 1;
+  if (sc.shard.max_domains != 0) {
+    domains = std::min(domains, sc.shard.max_domains);
+  }
+  std::vector<std::size_t> group_domain(groups, 0);
+  if (domains > 1) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      group_domain[g] = 1 + g % (domains - 1);
+    }
+  }
+
+  // Lookahead: the trunk service time of the smallest packet that can
+  // cross a domain boundary (a bare header on the wire). Must match
+  // Topology::cross_domain_lookahead — asserted right after build.
+  const std::size_t min_wire =
+      proto::Header::kSize + kern::SkBuff::kLowerLayerBytes;
+  sim::ShardEngine engine(
+      domains, sim::transmission_time(static_cast<std::int64_t>(min_wire),
+                                      sc.topo.network_bps));
+  net::Topology topo(engine, sc.topo, group_domain);
+  if (engine.lookahead() != topo.cross_domain_lookahead(min_wire)) {
+    throw std::logic_error("run_transfer: lookahead disagrees with topology");
+  }
+
+  const net::Endpoint group{kGroupAddr, kGroupPort};
+  const auto dom_sched = [&engine, &topo](std::size_t slot) -> sim::Scheduler& {
+    return engine.domain(topo.receiver_domain(slot));
+  };
+
+  // Observability: one ring *per domain* (a ring append is a write, so
+  // sharing one would race); merged by timestamp after the run. Each
+  // component's sink pairs its domain's ring with its domain's clock.
+  std::vector<std::unique_ptr<trace::TraceRing>> rings;
+  if (sc.trace.enabled) {
+    for (std::size_t d = 0; d < domains; ++d) {
+      rings.push_back(
+          std::make_unique<trace::TraceRing>(sc.trace.ring_capacity));
+    }
+    topo.backbone().set_trace(trace::TraceSink(
+        rings[0].get(), &engine.domain(0), trace::kBackboneHost));
+    for (std::size_t g = 0; g < topo.group_count(); ++g) {
+      topo.group_router(g).set_trace(
+          trace::TraceSink(rings[group_domain[g]].get(),
+                           &engine.domain(group_domain[g]),
+                           trace::router_host(g)));
+    }
+    topo.sender().nic()->set_trace(
+        trace::TraceSink(rings[0].get(), &engine.domain(0),
+                         trace::nic_host(0)));
+    for (std::size_t i = 0; i < topo.receiver_count(); ++i) {
+      topo.receiver_nic(i).set_trace(
+          trace::TraceSink(rings[topo.receiver_domain(i)].get(),
+                           &dom_sched(i), trace::nic_host(1 + i)));
+    }
+  }
+
+  // Crash/churn bookkeeping — identical to the legacy path (it reads
+  // the whole plan, not the per-domain splits).
+  std::vector<bool> crashed_ever(topo.receiver_count(), false);
+  std::vector<bool> expect_complete(topo.receiver_count(), true);
+  {
+    std::vector<net::FaultEvent> evs = sc.faults.events;
+    std::stable_sort(evs.begin(), evs.end(),
+                     [](const net::FaultEvent& a, const net::FaultEvent& b) {
+                       return a.at < b.at;
+                     });
+    for (const net::FaultEvent& ev : evs) {
+      if (ev.target >= crashed_ever.size()) continue;
+      if (ev.kind == net::FaultKind::kReceiverCrash) {
+        crashed_ever[ev.target] = true;
+        expect_complete[ev.target] = false;
+      } else if (ev.kind == net::FaultKind::kReceiverRestart) {
+        expect_complete[ev.target] = true;
+      }
+    }
+  }
+
+  std::vector<sim::SimTime> join_at(topo.receiver_count(), -1);
+  std::vector<sim::SimTime> leave_at(topo.receiver_count(), -1);
+  for (const ChurnEvent& ev : sc.churn) {
+    if (ev.receiver >= topo.receiver_count()) continue;
+    if (ev.join) {
+      join_at[ev.receiver] = ev.at;
+    } else {
+      leave_at[ev.receiver] = ev.at;
+      expect_complete[ev.receiver] = false;
+    }
+  }
+
+  std::vector<const ModeledGroup*> modeled_of(topo.receiver_count(), nullptr);
+  for (const ModeledGroup& mg : sc.modeled) {
+    if (mg.receiver < modeled_of.size()) modeled_of[mg.receiver] = &mg;
+  }
+
+  std::vector<std::size_t> repairer_of_group(topo.group_count(),
+                                             topo.receiver_count());
+  if (sc.hierarchy.enabled) {
+    if (!sc.hierarchy.repairers.empty()) {
+      for (std::size_t r : sc.hierarchy.repairers) {
+        if (r >= topo.receiver_count() || modeled_of[r]) continue;
+        repairer_of_group[topo.receiver_group(r)] = r;
+      }
+    } else {
+      for (std::size_t i = 0; i < topo.receiver_count(); ++i) {
+        if (modeled_of[i]) continue;
+        std::size_t& slot = repairer_of_group[topo.receiver_group(i)];
+        if (slot == topo.receiver_count()) slot = i;
+      }
+    }
+  }
+
+  // Receivers and their applications — each built on (and scheduling
+  // churn through) its own domain's clock.
+  std::vector<std::unique_ptr<proto::HrmcReceiver>> rcv_socks;
+  std::vector<std::unique_ptr<proto::ModeledReceiver>> modeled_socks;
+  std::vector<std::unique_ptr<app::SinkApp>> sinks;
+  std::vector<sim::SimTime> modeled_complete_at(topo.receiver_count(), -1);
+  for (std::size_t i = 0; i < topo.receiver_count(); ++i) {
+    sim::Scheduler& dsched = dom_sched(i);
+    if (const ModeledGroup* mg = modeled_of[i]) {
+      auto pop = std::make_unique<proto::ModeledReceiver>(
+          topo.receiver(i), sc.proto, group, mg->population, mg->leaf_loss,
+          topo.sender().addr());
+      if (!rings.empty()) {
+        pop->set_trace(trace::TraceSink(rings[topo.receiver_domain(i)].get(),
+                                        &dsched, trace::receiver_host(i)));
+      }
+      pop->on_complete = [&dsched, &modeled_complete_at, i] {
+        modeled_complete_at[i] = dsched.now();
+      };
+      pop->open();
+      rcv_socks.push_back(nullptr);
+      sinks.push_back(nullptr);
+      modeled_socks.push_back(std::move(pop));
+      continue;
+    }
+    auto sock = std::make_unique<proto::HrmcReceiver>(
+        topo.receiver(i), sc.proto, group, topo.sender().addr());
+    if (!rings.empty()) {
+      sock->set_trace(trace::TraceSink(rings[topo.receiver_domain(i)].get(),
+                                       &dsched, trace::receiver_host(i)));
+    }
+    if (sc.hierarchy.enabled) {
+      const std::size_t rep = repairer_of_group[topo.receiver_group(i)];
+      if (rep == i) {
+        sock->enable_repairer();
+      } else if (rep < topo.receiver_count()) {
+        sock->set_repair_parent(topo.receiver(rep).addr());
+      }
+    }
+    app::SinkApp::Options opt;
+    opt.chunk = sc.workload.chunk;
+    opt.read_rate_bps = sc.workload.sink_read_rate_bps;
+    opt.verify = !crashed_ever[i] && join_at[i] < 0;
+    if (sc.workload.disk_sink) opt.disk = sc.workload.disk;
+    opt.seed = sim::substream_seed(sc.seed, "sink:" + std::to_string(i));
+    sinks.push_back(std::make_unique<app::SinkApp>(*sock, dsched, opt));
+    proto::HrmcReceiver* raw = sock.get();
+    if (join_at[i] >= 0) {
+      dsched.schedule_at(join_at[i], [raw] { raw->open_resync(); });
+    } else {
+      sock->open();
+    }
+    if (leave_at[i] >= 0) {
+      dsched.schedule_at(leave_at[i], [raw] { raw->close(); });
+    }
+    rcv_socks.push_back(std::move(sock));
+    modeled_socks.push_back(nullptr);
+  }
+
+  // Fault injection: the plan is split by the domain each event fires
+  // in, one injector per domain that has any. Substream seeds derive
+  // from (sc.seed, component name) exactly as in the one-injector
+  // legacy path, so the split never changes a draw.
+  std::vector<std::unique_ptr<net::FaultInjector>> injectors;
+  if (!sc.faults.empty()) {
+    std::vector<net::FaultPlan> plans(domains);
+    for (const net::FaultEvent& ev : sc.faults.events) {
+      plans[fault_domain(ev, topo)].events.push_back(ev);
+    }
+    for (std::size_t d = 0; d < domains; ++d) {
+      if (plans[d].empty()) continue;
+      auto inj = std::make_unique<net::FaultInjector>(
+          engine.domain(d), topo, std::move(plans[d]), sc.seed);
+      inj->on_receiver_crash = [&rcv_socks](std::size_t i) {
+        if (i < rcv_socks.size() && rcv_socks[i]) rcv_socks[i]->crash();
+      };
+      inj->on_receiver_restart = [&rcv_socks](std::size_t i) {
+        if (i < rcv_socks.size() && rcv_socks[i]) rcv_socks[i]->restart();
+      };
+      inj->control_classifier = &is_control_packet;
+      if (!rings.empty()) {
+        inj->set_trace(trace::TraceSink(rings[d].get(), &engine.domain(d), 0));
+      }
+      inj->arm();
+      injectors.push_back(std::move(inj));
+    }
+  }
+
+  // Sender and its application: domain 0.
+  proto::HrmcSender snd(topo.sender(), sc.proto, kGroupPort, group);
+  if (!rings.empty()) {
+    snd.set_trace(trace::TraceSink(rings[0].get(), &engine.domain(0),
+                                   trace::kSenderHost));
+  }
+  app::SourceApp::Options sopt;
+  sopt.total_bytes = sc.workload.file_bytes;
+  sopt.chunk = sc.workload.chunk;
+  if (sc.workload.disk_source) sopt.disk = sc.workload.disk;
+  sopt.seed = sim::substream_seed(sc.seed, "source");
+  app::SourceApp source(snd, engine.domain(0), sopt);
+
+  engine.domain(0).schedule_at(sc.sender_start, [&source] { source.start(); });
+
+  const auto slot_complete = [&](std::size_t i) {
+    return sinks[i] ? sinks[i]->stream_complete()
+                    : modeled_socks[i]->complete();
+  };
+  const auto all_receivers_complete = [&] {
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      if (!slot_complete(i)) return false;
+    }
+    return true;
+  };
+  const auto survivors_complete = [&] {
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      if (expect_complete[i] && !slot_complete(i)) return false;
+    }
+    return true;
+  };
+  // Evaluated only at epoch barriers, where every domain is quiescent —
+  // the one place a cross-domain read is safe (and deterministic: the
+  // barrier schedule itself is thread-count independent).
+  const auto done = [&] { return survivors_complete() && snd.finished(); };
+
+  // Thread count: an explicit request is honored exactly (benches
+  // measuring a specific count depend on that); 0 takes the harness
+  // budget's leftover share, composing with any ParallelRunner above
+  // us. The lease pins the claim for the engine's whole run.
+  ThreadLease lease(sc.shard.threads);
+
+  engine.run(done, sc.time_limit, lease.count());
+
+  snd.stop();
+  for (auto& r : rcv_socks) {
+    if (r) r->stop();
+  }
+  for (auto& m : modeled_socks) {
+    if (m) m->stop();
+  }
+
+  RunResult res;
+  res.completed = all_receivers_complete();
+  res.sender_finished = snd.finished();
+  res.stall_time = snd.window_stall_time();
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    if (!expect_complete[i]) continue;
+    ++res.survivor_count;
+    if (slot_complete(i)) ++res.survivors_completed;
+  }
+
+  sim::SimTime last_complete = sc.sender_start;
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    if (sinks[i]) {
+      if (sinks[i]->stream_complete()) {
+        last_complete = std::max(last_complete, sinks[i]->complete_at());
+      }
+    } else if (modeled_complete_at[i] >= 0) {
+      last_complete = std::max(last_complete, modeled_complete_at[i]);
+    }
+  }
+  res.elapsed = last_complete - sc.sender_start;
+  if (res.completed && res.elapsed > 0) {
+    res.throughput_mbps = static_cast<double>(sc.workload.file_bytes) * 8.0 /
+                          sim::to_seconds(res.elapsed) / 1e6;
+  }
+
+  res.sender = snd.stats();
+  res.evicted_count = res.sender.members_evicted;
+  res.member_min_rescans = snd.members().min_rescans();
+  res.member_min_rescan_work = snd.members().min_rescan_work();
+  for (std::size_t i = 0; i < rcv_socks.size(); ++i) {
+    if (rcv_socks[i]) {
+      accumulate_receiver_stats(res, rcv_socks[i]->stats());
+      if (rcv_socks[i]->stream_error()) res.any_stream_error = true;
+      if (sinks[i]->verify_failed()) res.verify_ok = false;
+    } else {
+      accumulate_receiver_stats(res, modeled_socks[i]->stats());
+      res.modeled_leaves += modeled_socks[i]->population();
+    }
+  }
+
+  res.sender_nic_tx_drops =
+      topo.sender().nic()->counters().get("tx_ring_drops");
+  res.router_loss_drops = topo.backbone().counters().get("loss_drops");
+  for (std::size_t g = 0; g < sc.topo.groups.size(); ++g) {
+    res.router_loss_drops +=
+        topo.group_router(g).counters().get("loss_drops");
+  }
+
+  if (!rings.empty()) {
+    // Merge by timestamp; stable_sort keeps each domain's internal
+    // order and breaks cross-domain ties by domain index — both fixed,
+    // so the merged stream is identical at every thread count.
+    for (const auto& ring : rings) {
+      const std::vector<trace::TraceRecord> recs = ring->records();
+      res.trace_records.insert(res.trace_records.end(), recs.begin(),
+                               recs.end());
+      res.trace_dropped += ring->dropped();
+    }
+    std::stable_sort(
+        res.trace_records.begin(), res.trace_records.end(),
+        [](const trace::TraceRecord& a, const trace::TraceRecord& b) {
+          return a.t < b.t;
+        });
+  }
+
+  res.events_executed = engine.executed();
+  res.sched_compactions = engine.compactions();
+  res.rng_digest =
+      fold_run_digest(topo, rcv_socks, modeled_socks, sinks, source);
+  res.shard_domains = engine.domain_count();
+  res.shard_epochs = engine.stats().epochs;
+  res.shard_handoffs = engine.stats().handoffs;
+  res.shard_handoff_bytes = engine.stats().handoff_bytes;
+  res.shard_control_posts = engine.stats().control_posts;
+  return res;
+}
+
+}  // namespace hrmc::harness::detail

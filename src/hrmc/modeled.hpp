@@ -67,6 +67,10 @@ class ModeledReceiver final : public net::Transport {
   void set_trace(trace::TraceSink sink) { trace_ = sink; }
   std::function<void()> on_complete;
 
+  /// Folded end-state of the leaf-loss RNG — part of
+  /// RunResult::rng_digest.
+  [[nodiscard]] std::uint64_t rng_digest() const { return rng_.digest(); }
+
   // net::Transport
   void rx(kern::SkBuffPtr skb) override;
 

@@ -154,6 +154,12 @@ class HrmcReceiver final : public net::Transport {
   void set_repair_parent(net::Addr parent);
   [[nodiscard]] net::Addr repair_parent() const { return repair_parent_; }
 
+  /// Folded end-state of the suppression-backoff RNG — part of
+  /// RunResult::rng_digest.
+  [[nodiscard]] std::uint64_t rng_digest() const {
+    return feedback_rng_.digest();
+  }
+
   // --- net::Transport ---
   void rx(kern::SkBuffPtr skb) override;
 

@@ -96,6 +96,8 @@ class Disturber {
     return d;
   }
 
+  [[nodiscard]] std::uint64_t rng_digest() const { return rng_.digest(); }
+
  private:
   DisturbConfig cfg_;
   sim::Rng rng_;

@@ -46,6 +46,7 @@ class GilbertElliott {
 
   [[nodiscard]] bool in_bad_state() const { return bad_; }
   [[nodiscard]] const GilbertElliottConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t rng_digest() const { return rng_.digest(); }
 
  private:
   GilbertElliottConfig cfg_;
@@ -94,6 +95,7 @@ class WirelessLoss {
 
   [[nodiscard]] bool in_fade() const { return bad_; }
   [[nodiscard]] const WirelessLossConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t rng_digest() const { return rng_.digest(); }
 
   /// The SNR-modulated fade-entry probability at time `now` (exposed for
   /// tests; drop() is the only caller inside the model).

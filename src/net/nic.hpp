@@ -123,6 +123,18 @@ class Nic final : public PacketSink {
   /// Attaches a trace sink reporting drops and tx-ring exhaustion.
   void set_trace(trace::TraceSink sink) { trace_ = sink; }
 
+  /// Folded end-state of every RNG this NIC owns (Bernoulli loss, burst
+  /// loss, wireless fade, disturber) — part of RunResult::rng_digest.
+  [[nodiscard]] std::uint64_t rng_digest() const {
+    std::uint64_t acc = loss_rng_.digest();
+    if (burst_loss_) acc = sim::digest_mix(acc, burst_loss_->rng_digest());
+    if (wireless_loss_) {
+      acc = sim::digest_mix(acc, wireless_loss_->rng_digest());
+    }
+    if (disturb_) acc = sim::digest_mix(acc, disturb_->rng_digest());
+    return acc;
+  }
+
  private:
   void drain_tx();
 

@@ -166,6 +166,27 @@ void Router::service(PacketSink* egress, Port& port) {
   port.queue.pop_front();
   const sim::SimTime service_time = sim::transmission_time(
       static_cast<std::int64_t>(skb->wire_size()), cfg_.speed_bps);
+  if (port.remote_engine != nullptr) {
+    // Cross-domain egress: the arrival is staged *now*, at service
+    // start, to land at now + service_time — which is what bounds the
+    // engine's lookahead from below (no packet serializes faster than
+    // the minimum-size one). unshare() first: skb data blocks are
+    // refcounted without atomics under the one-thread-per-domain
+    // invariant, so a buffer must be exclusively owned before it
+    // crosses; local multicast siblings keep the original block.
+    skb->unshare();
+    const std::size_t bytes = skb->wire_size();
+    port.remote_engine->post(
+        port.remote_src, port.remote_dst, sched_->now() + service_time,
+        bytes, [egress, skb = std::move(skb)]() mutable {
+          egress->deliver(std::move(skb));
+        });
+    // The port itself still serializes locally: next packet starts when
+    // this one's service interval ends, exactly as in the local branch.
+    sched_->schedule_after(service_time,
+                           [this, egress, &port] { service(egress, port); });
+    return;
+  }
   // Capturing `port` by reference is safe — unordered_map never moves
   // its nodes and ports are never erased — and keeps the per-packet
   // completion off the hash table.

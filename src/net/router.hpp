@@ -26,6 +26,7 @@
 #include "net/sink.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/shard.hpp"
 #include "sim/stats.hpp"
 #include "trace/trace.hpp"
 
@@ -113,10 +114,37 @@ class Router final : public PacketSink {
   /// Attaches a trace sink reporting enqueues and drops (with reason).
   void set_trace(trace::TraceSink sink) { trace_ = sink; }
 
+  /// Sharded execution: marks `egress` as living in another domain.
+  /// Queueing and the per-packet service time stay here (this router's
+  /// port is still the bottleneck resource); only the *delivery* at the
+  /// end of the service interval is posted through the engine's mailbox
+  /// instead of called directly, which is what gives the engine its
+  /// lookahead — the arrival lands at least one minimum service time
+  /// after the instant the handoff is staged.
+  void set_remote_egress(PacketSink* egress, sim::ShardEngine* engine,
+                         std::size_t src_domain, std::size_t dst_domain) {
+    Port& port = ports_[egress];
+    port.remote_engine = engine;
+    port.remote_src = src_domain;
+    port.remote_dst = dst_domain;
+  }
+
+  /// Folded end-state of every RNG this router owns (Bernoulli loss,
+  /// burst loss, disturber) — part of RunResult::rng_digest.
+  [[nodiscard]] std::uint64_t rng_digest() const {
+    std::uint64_t acc = loss_rng_.digest();
+    if (burst_loss_) acc = sim::digest_mix(acc, burst_loss_->rng_digest());
+    if (disturb_) acc = sim::digest_mix(acc, disturb_->rng_digest());
+    return acc;
+  }
+
  private:
   struct Port {
     std::deque<kern::SkBuffPtr> queue;
     bool busy = false;
+    sim::ShardEngine* remote_engine = nullptr;  ///< set when egress is
+    std::size_t remote_src = 0;                 ///< in another domain
+    std::size_t remote_dst = 0;
   };
 
   void enqueue(PacketSink* egress, kern::SkBuffPtr skb);

@@ -18,6 +18,44 @@ GroupSpec group_c(int receivers) {
 
 Topology::Topology(sim::Scheduler& sched, const TopologyConfig& cfg)
     : sched_(&sched), cfg_(cfg) {
+  build(sched, [&sched](std::size_t) -> sim::Scheduler& { return sched; });
+}
+
+Topology::Topology(sim::ShardEngine& engine, const TopologyConfig& cfg,
+                   std::vector<std::size_t> group_domain)
+    : sched_(&engine.domain(0)),
+      cfg_(cfg),
+      engine_(&engine),
+      group_domain_(std::move(group_domain)) {
+  if (group_domain_.size() != cfg.groups.size()) {
+    throw std::invalid_argument(
+        "Topology: group_domain needs one entry per configured group");
+  }
+  for (std::size_t d : group_domain_) {
+    if (d >= engine.domain_count()) {
+      throw std::invalid_argument("Topology: group domain out of range");
+    }
+  }
+  build(engine.domain(0), [this](std::size_t g) -> sim::Scheduler& {
+    return engine_->domain(group_domain_[g]);
+  });
+  // The only cross-domain edges: backbone -> group router (multicast
+  // data and receiver-bound unicast) and group router -> backbone
+  // (feedback via the default route). Queueing and service stay on the
+  // owning router; delivery goes through the epoch mailboxes.
+  for (std::size_t g = 0; g < group_routers_.size(); ++g) {
+    const std::size_t d = group_domain_[g];
+    if (d == 0) continue;  // whole subtree shares the sender's domain
+    backbone_->set_remote_egress(group_routers_[g].get(), engine_, 0, d);
+    group_routers_[g]->set_remote_egress(backbone_.get(), engine_, d, 0);
+  }
+}
+
+void Topology::build(
+    sim::Scheduler& backbone_sched,
+    const std::function<sim::Scheduler&(std::size_t)>& group_sched) {
+  const TopologyConfig& cfg = cfg_;
+  sim::Scheduler& sched = backbone_sched;
   backbone_ = std::make_unique<Router>(
       sched, "backbone",
       RouterConfig{cfg.network_bps, cfg.router_queue, 0.0},
@@ -41,9 +79,10 @@ Topology::Topology(sim::Scheduler& sched, const TopologyConfig& cfg)
 
   for (std::size_t g = 0; g < cfg.groups.size(); ++g) {
     const GroupSpec& spec = cfg.groups[g];
+    sim::Scheduler& gsched = group_sched(g);
     const std::string rname = "router:" + spec.label;
     auto router = std::make_unique<Router>(
-        sched, rname,
+        gsched, rname,
         RouterConfig{cfg.network_bps, cfg.router_queue,
                      spec.loss_rate * cfg.correlated_share},
         sim::substream_seed(cfg.seed, rname));
@@ -58,13 +97,13 @@ Topology::Topology(sim::Scheduler& sched, const TopologyConfig& cfg)
       const std::string nname =
           "nic:" + spec.label + std::to_string(r);
       auto nic = std::make_unique<Nic>(
-          sched, nname,
+          gsched, nname,
           NicConfig{cfg.network_bps, spec.delay,
                     spec.loss_rate * (1.0 - cfg.correlated_share),
                     cfg.nic_tx_ring},
           sim::substream_seed(cfg.seed, nname));
       auto host = std::make_unique<Host>(
-          sched, "rcvr:" + spec.label + std::to_string(r), addr);
+          gsched, "rcvr:" + spec.label + std::to_string(r), addr);
       host->attach_nic(nic.get());
       host->set_group_control(this);
       nic->attach_uplink(router.get());
@@ -102,7 +141,21 @@ void Topology::join_group(Addr group, Host* host) {
   // NIC index: sender occupies slot 0.
   Nic* nic = nics_[idx + 1].get();
   group_routers_[g]->join_group(group, nic);
-  backbone_->join_group(group, group_routers_[g].get());
+  // The backbone graft crosses domains with no modeled latency, so
+  // under sharding it must not touch domain 0's tables mid-window:
+  // it is applied serially at the next epoch boundary (within one
+  // lookahead — less than the trunk's own service time — of the IGMP
+  // report that would carry it on a real network). During setup the
+  // engine applies it inline, exactly like the legacy path.
+  if (engine_ != nullptr && group_domain_[g] != 0) {
+    Router* backbone = backbone_.get();
+    Router* gr = group_routers_[g].get();
+    engine_->post_control(group_domain_[g], [backbone, gr, group] {
+      backbone->join_group(group, gr);
+    });
+  } else {
+    backbone_->join_group(group, group_routers_[g].get());
+  }
 }
 
 void Topology::leave_group(Addr group, Host* host) {
@@ -112,7 +165,19 @@ void Topology::leave_group(Addr group, Host* host) {
   Nic* nic = nics_[idx + 1].get();
   group_routers_[g]->leave_group(group, nic);
   if (!group_routers_[g]->group_active(group)) {
-    backbone_->leave_group(group, group_routers_[g].get());
+    if (engine_ != nullptr && group_domain_[g] != 0) {
+      // Prune at the boundary. A join racing in the same window posts
+      // its graft behind this prune in the same FIFO, so the boundary
+      // replays the local decisions in order and converges to the same
+      // membership the legacy path reaches.
+      Router* backbone = backbone_.get();
+      Router* gr = group_routers_[g].get();
+      engine_->post_control(group_domain_[g], [backbone, gr, group] {
+        backbone->leave_group(group, gr);
+      });
+    } else {
+      backbone_->leave_group(group, group_routers_[g].get());
+    }
   }
 }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "net/host.hpp"
 #include "net/router.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/shard.hpp"
 
 namespace hrmc::net {
 
@@ -52,6 +54,19 @@ class Topology final : public GroupControl {
  public:
   Topology(sim::Scheduler& sched, const TopologyConfig& cfg);
 
+  /// Sharded construction: the sender host and backbone router live in
+  /// the engine's domain 0; group `g` (its router, NICs, hosts — one
+  /// whole router subtree) lives in domain `group_domain[g]` (one entry
+  /// per configured group, values in [0, engine.domain_count())). The
+  /// only cross-domain edges this wiring creates are the backbone's
+  /// egress ports toward non-domain-0 group routers and those routers'
+  /// default routes back — both marked remote so deliveries travel
+  /// through the engine's epoch mailboxes. Components pick up their
+  /// domain's Scheduler through Host::scheduler(), so protocol stacks
+  /// built on this topology land in the right domain automatically.
+  Topology(sim::ShardEngine& engine, const TopologyConfig& cfg,
+           std::vector<std::size_t> group_domain);
+
   [[nodiscard]] Host& sender() { return *sender_; }
   [[nodiscard]] std::vector<Host*>& receivers() { return receiver_ptrs_; }
   [[nodiscard]] Host& receiver(std::size_t i) { return *receiver_ptrs_.at(i); }
@@ -78,6 +93,24 @@ class Topology final : public GroupControl {
 
   [[nodiscard]] const TopologyConfig& config() const { return cfg_; }
 
+  /// Sharded-construction introspection. Domain 0 on the legacy path.
+  [[nodiscard]] bool sharded() const { return engine_ != nullptr; }
+  [[nodiscard]] std::size_t group_domain(std::size_t g) const {
+    return engine_ != nullptr ? group_domain_.at(g) : 0;
+  }
+  [[nodiscard]] std::size_t receiver_domain(std::size_t i) const {
+    return group_domain(receiver_group_.at(i));
+  }
+
+  /// The engine lookahead this topology supports: the service time of a
+  /// `min_wire_bytes` packet on the trunk links (the only cross-domain
+  /// edges), which is the soonest any cross-domain effect can land.
+  [[nodiscard]] sim::SimTime cross_domain_lookahead(
+      std::size_t min_wire_bytes) const {
+    return sim::transmission_time(static_cast<std::int64_t>(min_wire_bytes),
+                                  cfg_.network_bps);
+  }
+
   // GroupControl: IGMP-style subscription management. Joining grafts the
   // member's NIC onto its group router and the group router onto the
   // backbone; leaving prunes.
@@ -86,9 +119,13 @@ class Topology final : public GroupControl {
 
  private:
   [[nodiscard]] std::size_t host_index(const Host* host) const;
+  void build(sim::Scheduler& backbone_sched,
+             const std::function<sim::Scheduler&(std::size_t)>& group_sched);
 
   sim::Scheduler* sched_;
   TopologyConfig cfg_;
+  sim::ShardEngine* engine_ = nullptr;    ///< null on the legacy path
+  std::vector<std::size_t> group_domain_;  ///< per group, sharded only
 
   std::unique_ptr<Router> backbone_;
   std::vector<std::unique_ptr<Router>> group_routers_;

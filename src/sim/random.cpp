@@ -86,4 +86,18 @@ std::uint64_t substream_seed(std::uint64_t root, std::string_view label) {
   return splitmix64(x);
 }
 
+std::uint64_t Rng::digest() const {
+  std::uint64_t acc = 0x6d5f4e3d2c1b0a99ULL;
+  for (std::uint64_t s : s_) {
+    std::uint64_t x = acc ^ s;
+    acc = splitmix64(x);
+  }
+  return acc;
+}
+
+std::uint64_t digest_mix(std::uint64_t acc, std::uint64_t v) {
+  std::uint64_t x = acc ^ v;
+  return splitmix64(x);
+}
+
 }  // namespace hrmc::sim

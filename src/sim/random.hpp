@@ -44,9 +44,21 @@ class Rng {
   static constexpr result_type max() { return ~0ULL; }
   result_type operator()() { return next_u64(); }
 
+  /// Position-sensitive hash of the internal state: two streams seeded
+  /// alike that consumed the same number of draws have equal digests,
+  /// and any divergence in draw history shows up here. The harness
+  /// folds every component's digest into RunResult::rng_digest to prove
+  /// serial and sharded executions left each PRNG in the same place.
+  [[nodiscard]] std::uint64_t digest() const;
+
  private:
   std::uint64_t s_[4] = {};
 };
+
+/// Order-sensitive accumulator for folding many digests into one
+/// (SplitMix64 over the running value xor the contribution), so a
+/// matching fold implies every component matched in sequence.
+std::uint64_t digest_mix(std::uint64_t acc, std::uint64_t v);
 
 /// Derives an independent substream seed from a root seed and a label,
 /// e.g. `substream_seed(seed, "router:0/loss")`. FNV-1a over the label

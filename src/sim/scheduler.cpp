@@ -35,8 +35,12 @@ bool SchedulerCore::cancel(std::uint32_t slot_idx, std::uint32_t gen) {
   // Lazy sweep: once cancelled entries outnumber live ones the heap is
   // mostly dead weight — rebuild it without them. Amortized O(1) per
   // cancel; pop order is unchanged because (when, seq) totally orders
-  // live entries regardless of heap layout.
-  if (tombstones * 2 > heap.size()) compact();
+  // live entries regardless of heap layout. The count floor keeps tiny
+  // queues from paying a rebuild per cancel: below it, pops retire the
+  // tombstones for free.
+  if (tombstones >= kCompactMinTombstones && tombstones * 2 > heap.size()) {
+    compact();
+  }
   return true;
 }
 
@@ -46,6 +50,19 @@ void SchedulerCore::compact() {
              heap.end());
   std::make_heap(heap.begin(), heap.end(), later);
   tombstones = 0;
+  ++compactions;
+}
+
+SimTime SchedulerCore::next_event_time() {
+  while (!heap.empty()) {
+    const Entry& top = heap.front();
+    if (live(top)) return top.when;
+    std::pop_heap(heap.begin(), heap.end(), later);
+    heap.pop_back();
+    assert(tombstones > 0);
+    --tombstones;
+  }
+  return kTimeInfinity;
 }
 
 }  // namespace detail

@@ -15,7 +15,9 @@
 // reference slots by (index, generation). Cancellation bumps the slot's
 // generation — the queue entry becomes a tombstone that is skipped when
 // popped, or swept early by lazy compaction once tombstones exceed half
-// the queue. In steady state schedule_after() allocates nothing: slots
+// the queue *and* an absolute floor (so small queues never pay a
+// rebuild; sweeps are counted in compactions() for the bench).
+// In steady state schedule_after() allocates nothing: slots
 // are reused, the heap vector's capacity is reused, and callbacks whose
 // captures fit 64 bytes are stored inline in the slot (larger ones fall
 // back to the heap).
@@ -117,6 +119,13 @@ struct SchedulerCore {
     std::uint32_t gen = 0;
   };
 
+  /// Compaction trigger: tombstones must both outnumber live entries
+  /// and reach this floor. Without the floor a tiny queue (2 events,
+  /// 1 cancel) would pay a full O(n) rebuild on nearly every cancel;
+  /// with it, small queues let pops retire tombstones for free and the
+  /// sweep runs only when it reclaims meaningful memory.
+  static constexpr std::size_t kCompactMinTombstones = 64;
+
   std::deque<Slot> slots;  // deque: growth never moves existing slots
   std::uint32_t free_head = kNoSlot;
   std::vector<Entry> heap;  // min-heap by (when, seq) via std::*_heap
@@ -124,6 +133,7 @@ struct SchedulerCore {
   SimTime now = 0;
   std::uint64_t next_seq = 0;
   std::uint64_t executed = 0;
+  std::uint64_t compactions = 0;  ///< lazy sweeps run (wasted-work stat)
   std::uint32_t refs = 1;  ///< owning Scheduler + live EventHandles
   bool dead = false;       ///< the owning Scheduler was destroyed
 
@@ -143,8 +153,14 @@ struct SchedulerCore {
   bool cancel(std::uint32_t slot, std::uint32_t gen);
 
   /// Removes every tombstone from the heap and re-heapifies. O(n);
-  /// amortized O(1) per cancel since it only runs after n/2 of them.
+  /// amortized O(1) per cancel since it only runs after n/2 of them
+  /// (and never below kCompactMinTombstones of them).
   void compact();
+
+  /// Time of the earliest live entry (kTimeInfinity when none). Pops
+  /// any tombstones sitting on top — the same work step() would do —
+  /// so peeking never changes what runs or in what order.
+  [[nodiscard]] SimTime next_event_time();
 };
 
 inline void core_ref(SchedulerCore* c) {
@@ -269,8 +285,18 @@ class Scheduler {
   /// compaction. Observability only; they never fire.
   [[nodiscard]] std::size_t tombstones() const { return core_->tombstones; }
 
+  /// Lazy tombstone sweeps run so far — the "wasted work" counter the
+  /// bench reports next to events/sec.
+  [[nodiscard]] std::uint64_t compactions() const {
+    return core_->compactions;
+  }
+
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t executed() const { return core_->executed; }
+
+  /// Timestamp of the next live event, kTimeInfinity when the queue is
+  /// empty. The sharded engine uses this to pick each epoch window.
+  [[nodiscard]] SimTime next_event_time() { return core_->next_event_time(); }
 
  private:
   [[noreturn]] void throw_past(SimTime when) const;

@@ -167,6 +167,63 @@ TEST(Scheduler, CancellationHeavyWorkloadCompactsAndStaysOrdered) {
   EXPECT_EQ(s.tombstones(), 0u);
 }
 
+TEST(Scheduler, SmallQueuesStayBelowTheCompactionFloor) {
+  // Tombstones may outnumber live entries in a small queue without
+  // triggering a sweep: below kCompactMinTombstones the O(n) rebuild
+  // would cost more than letting pops retire them for free.
+  Scheduler s;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  for (int i = 0; i < 50; ++i) {
+    handles.push_back(
+        s.schedule_at(milliseconds(i + 1), [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 50; ++i) {
+    if (i % 10 != 0) handles[i].cancel();  // 45 tombstones > 5 live
+  }
+  EXPECT_EQ(s.compactions(), 0u);
+  EXPECT_EQ(s.tombstones(), 45u);
+  EXPECT_EQ(s.queued(), 5u);
+  s.run_until();
+  EXPECT_EQ(s.compactions(), 0u);  // pops retired every tombstone
+  EXPECT_EQ(fired, (std::vector<int>{0, 10, 20, 30, 40}));
+}
+
+TEST(Scheduler, CompactionsStatCountsSweeps) {
+  // Above the floor the majority trigger still applies, and each sweep
+  // is visible in compactions() (the bench's wasted-work counter).
+  Scheduler s;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 400; ++i) {
+    handles.push_back(s.schedule_at(milliseconds(i + 1), [] {}));
+  }
+  for (int i = 0; i < 400; ++i) {
+    if (i % 4 != 0) handles[i].cancel();  // 300 cancels, 100 live
+  }
+  EXPECT_GE(s.compactions(), 1u);
+  EXPECT_LE(s.tombstones(), s.queued() + 1);
+  const std::uint64_t sweeps = s.compactions();
+  s.run_until();
+  EXPECT_EQ(s.executed(), 100u);
+  EXPECT_EQ(s.compactions(), sweeps);  // draining never re-heapifies
+}
+
+TEST(Scheduler, NextEventTimePeeksWithoutRunning) {
+  Scheduler s;
+  EXPECT_EQ(s.next_event_time(), kTimeInfinity);
+  auto early = s.schedule_at(milliseconds(5), [] {});
+  s.schedule_at(milliseconds(9), [] {});
+  EXPECT_EQ(s.next_event_time(), milliseconds(5));
+  EXPECT_EQ(s.executed(), 0u);  // peeking runs nothing
+  // Cancelling the head must expose the next live entry, popping the
+  // tombstone exactly as step() would have.
+  early.cancel();
+  EXPECT_EQ(s.next_event_time(), milliseconds(9));
+  s.run_until();
+  EXPECT_EQ(s.next_event_time(), kTimeInfinity);
+  EXPECT_EQ(s.executed(), 1u);
+}
+
 TEST(Scheduler, FifoTieBreakSurvivesSlotReuse) {
   // Slots freed by cancellation are recycled by later schedules. The
   // FIFO tie-break at equal timestamps must follow scheduling order

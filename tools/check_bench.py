@@ -42,6 +42,24 @@ def numeric(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
 
 
+def fmt(v):
+    """Compact numeric rendering: large values as grouped integers,
+    small ones with enough digits that a 1.6x speedup floor does not
+    print as '2'."""
+    if float(v).is_integer() and abs(v) < 1e15:
+        return f"{int(v):,}"
+    if abs(v) >= 10000:
+        return f"{v:,.0f}"
+    return f"{v:.4g}"
+
+
+def rel(delta, base):
+    """delta as a percentage of base, guarded against zero bases."""
+    if base == 0:
+        return "n/a"
+    return f"{delta / base:+.1%}"
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("current")
@@ -79,12 +97,13 @@ def main():
                 continue
             floor = want * (1.0 - args.max_regress)
             status = "OK" if have >= floor else "FAIL"
-            print(f"{status:4} {name}.{key}: {have:.0f} "
-                  f"(baseline {want:.0f}, floor {floor:.0f})")
+            print(f"{status:4} {name}.{key}: {fmt(have)} "
+                  f"(baseline {fmt(want)}, floor {fmt(floor)})")
             if have < floor:
                 failures.append(
-                    f"{name}.{key}: {have:.0f} < floor {floor:.0f} "
-                    f"({args.max_regress:.0%} under baseline {want:.0f})")
+                    f"{name}.{key}: {fmt(have)} is below floor "
+                    f"{fmt(floor)} by {(floor - have) / floor:.1%} "
+                    f"({rel(have - want, want)} vs baseline {fmt(want)})")
         for key, want in ceilings.items():
             have = current[name].get(key)
             if have is None:
@@ -96,12 +115,13 @@ def main():
                 continue
             ceiling = want * (1.0 + args.max_regress)
             status = "OK" if have <= ceiling else "FAIL"
-            print(f"{status:4} {name}.{key}: {have:.2f} "
-                  f"(baseline {want:.2f}, ceiling {ceiling:.2f})")
+            print(f"{status:4} {name}.{key}: {fmt(have)} "
+                  f"(baseline {fmt(want)}, ceiling {fmt(ceiling)})")
             if have > ceiling:
                 failures.append(
-                    f"{name}.{key}: {have:.2f} > ceiling {ceiling:.2f} "
-                    f"({args.max_regress:.0%} over baseline {want:.2f})")
+                    f"{name}.{key}: {fmt(have)} is over ceiling "
+                    f"{fmt(ceiling)} by {(have - ceiling) / ceiling:.1%} "
+                    f"({rel(have - want, want)} vs baseline {fmt(want)})")
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)
