@@ -183,12 +183,33 @@ struct Config {
   /// many receivers need probing. 0 disables.
   std::size_t mcast_probe_threshold = 0;
   /// (4) Forward error correction for lossy (wireless-like) paths: the
-  /// sender multicasts one XOR parity packet after every `fec_group`
-  /// full-MSS data packets; a receiver missing exactly one packet of a
-  /// group reconstructs it locally, without a NAK round trip. 0 disables.
+  /// sender multicasts `r` GF(256) Reed–Solomon parity packets after
+  /// every group of `fec_group` data packets (a group is cut short —
+  /// and its parity flushed over the bytes actually covered — when a
+  /// sub-MSS packet or end-of-stream interrupts it, so transfer tails
+  /// and short transfers are protected too). Parity row 0 of the codec
+  /// is the plain XOR, so r = 1 is bit-compatible with the original
+  /// single-XOR scheme. A receiver missing up to `r` packets of a group
+  /// reconstructs them locally from cached siblings and parities,
+  /// without a NAK round trip; only groups whose losses exceed the
+  /// parity budget fall back to NAKs (DESIGN.md §15). 0 disables.
   std::size_t fec_group = 0;
   /// Receiver-side payload cache for reconstruction, in FEC groups.
   std::size_t fec_cache_groups = 4;
+  /// Parity packets per group when adaptation is off, and the floor the
+  /// adaptive controller never goes below. Clamped to fec::kMaxParity.
+  std::size_t fec_parity_min = 1;
+  /// Ceiling for the adaptive parity rate (<= fec::kMaxParity).
+  std::size_t fec_parity_max = 1;
+  /// Adaptation epoch: every this often the sender re-targets the
+  /// parity rate from the loss it observes on the feedback channel
+  /// (NAK volume per data packet, plus AGG_UPDATE subtree-minimum lag).
+  /// Moves are damped to one step per epoch, and decreases additionally
+  /// wait fec_hysteresis_epochs of consecutive under-target epochs.
+  /// 0 disables adaptation (fixed r = fec_parity_min).
+  sim::SimTime fec_adapt_interval = 0;
+  /// Consecutive quiet epochs before the parity rate steps down.
+  int fec_hysteresis_epochs = 2;
 
   /// Initial sequence number of every stream (both endpoints assume it;
   /// a production protocol would carry it in JOIN_RESPONSE). Configurable

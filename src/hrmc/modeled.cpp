@@ -116,9 +116,7 @@ void ModeledReceiver::rx(kern::SkBuffPtr skb) {
   }
   switch (h->type) {
     case PacketType::kData: process_data(*h); break;
-    case PacketType::kFec:
-      stats_.fec_packets_received++;  // populations model ARQ only
-      break;
+    case PacketType::kFec: process_fec(*h); break;
     case PacketType::kProbe: process_probe(*h); break;
     case PacketType::kKeepalive: process_keepalive(*h); break;
     case PacketType::kJoinResponse:
@@ -216,7 +214,16 @@ void ModeledReceiver::process_data(const Header& h) {
   // independently on their own tails. The subtree head has the bytes,
   // so the implicit local repairer serves these leaves one local repair
   // round trip from now — no upstream NAK.
-  const std::uint32_t lost = draw_losses(population_, leaf_loss_);
+  std::uint32_t lost = draw_losses(population_, leaf_loss_);
+  if (lost > 0 && cfg_.fec_group > 0) {
+    // FEC thinning: a leaf that lost this packet decodes it from the
+    // group's parity unless its own losses exceed the budget — only the
+    // excess forms a hole. The extra draw is gated on fec_group so
+    // FEC-free scenarios keep their rng digest bit-identical.
+    const std::uint32_t unrepaired = draw_losses(lost, fec_unrepaired_prob());
+    stats_.fec_recoveries += lost - unrepaired;
+    lost = unrepaired;
+  }
   if (lost > 0) {
     holes_.push_back(Hole{seq_max(begin, rcv_high_), end, lost, false,
                           host_.scheduler().now() + nak_interval(), -1, 0});
@@ -234,6 +241,104 @@ void ModeledReceiver::note_tail(Seq upto) {
     rcv_high_ = upto;
     nak_timer_.mod_timer_in(1);
   }
+}
+
+double ModeledReceiver::fec_unrepaired_prob() const {
+  const std::size_t k = std::min(cfg_.fec_group, fec::kMaxGroup);
+  std::size_t r = fec_budget_;
+  if (r == 0) {
+    // No parity observed yet: assume the sender's configured floor.
+    r = std::clamp<std::size_t>(cfg_.fec_parity_min, 1, fec::kMaxParity);
+  }
+  const double p = leaf_loss_;
+  if (p >= 1.0) return 1.0;
+  if (k == 0) return 1.0;
+  // P(Bin(k-1, p) >= r) via the complement of the pmf prefix sum.
+  const std::size_t n = k - 1;
+  double pmf = std::pow(1.0 - p, static_cast<double>(n));
+  double cum = 0.0;
+  for (std::size_t x = 0; x < r && x <= n; ++x) {
+    cum += pmf;
+    pmf *= static_cast<double>(n - x) / static_cast<double>(x + 1) * p /
+           (1.0 - p);
+  }
+  return std::clamp(1.0 - cum, 0.0, 1.0);
+}
+
+void ModeledReceiver::process_fec(const Header& h) {
+  stats_.fec_packets_received++;
+  if (cfg_.fec_group == 0 || h.length == 0) return;
+  const std::size_t k = (h.rate + h.length - 1) / h.length;
+  if (k == 0 || k > fec::kMaxGroup) return;
+  const std::size_t parity_index = h.tries == 0 ? 0 : h.tries - 1;
+  if (parity_index >= fec::kMaxParity) return;
+  // Track the sender's current parity budget from the rows on the wire;
+  // it feeds fec_unrepaired_prob() as the adaptive rate moves.
+  if (!fec_group_valid_ || fec_group_begin_ != h.seq) {
+    fec_group_valid_ = true;
+    fec_group_begin_ = h.seq;
+    fec_budget_ = 0;
+  }
+  fec_budget_ = std::max(fec_budget_, parity_index + 1);
+
+  const Seq span_end = h.seq + h.rate;
+  // The parity names data through span_end: tail bytes the subtree
+  // never saw were lost on the shared path (like a KEEPALIVE).
+  note_tail(span_end);
+
+  // Shared-path erasures inside the group span, in shard units. Tail
+  // (!shared) holes are not erasures — the subtree head has those bytes.
+  std::size_t erasures = 0;
+  for (const Hole& hole : holes_) {
+    if (!hole.shared) continue;
+    const Seq b = seq_max(hole.begin, h.seq);
+    const Seq e = seq_min(hole.end, span_end);
+    if (!seq_before(b, e)) continue;
+    erasures += (static_cast<std::uint32_t>(seq_diff(b, e)) + h.length - 1) /
+                h.length;
+  }
+  if (erasures == 0) return;
+  if (erasures > fec_budget_) {
+    // More group losses than parity rows: the leaves fall back to ARQ
+    // (the holes keep NAKing upstream). Report once per group.
+    if (!fec_fail_noted_ || fec_fail_group_ != h.seq) {
+      fec_fail_noted_ = true;
+      fec_fail_group_ = h.seq;
+      stats_.fec_decode_failures++;
+      trace_.emit(trace::EventKind::kFecDecodeFail, h.seq, span_end, erasures,
+                  static_cast<std::uint32_t>(fec_budget_));
+    }
+    return;
+  }
+  if (fec_fail_noted_ && fec_fail_group_ == h.seq) fec_fail_noted_ = false;
+
+  // Every leaf holds the parity (modulo second-order tail loss) and at
+  // most `budget` erasures: the whole population decodes locally and no
+  // NAK ever goes upstream. Repair the shared holes' overlap.
+  std::vector<Hole> kept;
+  kept.reserve(holes_.size() + 1);
+  for (Hole& hole : holes_) {
+    const Seq b = seq_max(hole.begin, h.seq);
+    const Seq e = seq_min(hole.end, span_end);
+    if (!hole.shared || !seq_before(b, e)) {
+      kept.push_back(std::move(hole));
+      continue;
+    }
+    stats_.fec_recoveries +=
+        (static_cast<std::uint32_t>(seq_diff(b, e)) + h.length - 1) /
+        h.length;
+    trace_.emit(trace::EventKind::kFecRepair, b, e, erasures);
+    if (seq_before(hole.begin, b)) {
+      kept.push_back(Hole{hole.begin, b, hole.leaves_missing, true, -1,
+                          hole.last_nak, hole.sends});
+    }
+    if (seq_before(e, hole.end)) {
+      kept.push_back(Hole{e, hole.end, hole.leaves_missing, true, -1,
+                          hole.last_nak, hole.sends});
+    }
+  }
+  holes_ = std::move(kept);
+  maybe_complete();
 }
 
 void ModeledReceiver::process_probe(const Header& h) {

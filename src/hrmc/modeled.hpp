@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "hrmc/config.hpp"
+#include "hrmc/fec.hpp"
 #include "hrmc/stats.hpp"
 #include "hrmc/wire.hpp"
 #include "kern/timer.hpp"
@@ -90,8 +91,14 @@ class ModeledReceiver final : public net::Transport {
   };
 
   void process_data(const Header& h);
+  void process_fec(const Header& h);
   void process_probe(const Header& h);
   void process_keepalive(const Header& h);
+  /// Probability that a leaf which lost one packet of a parity group
+  /// cannot decode it locally: >= r of the group's other k-1 packets
+  /// were also lost on its tail (r = the sender's observed parity
+  /// budget). Parity-packet tail loss is second-order and ignored.
+  [[nodiscard]] double fec_unrepaired_prob() const;
   void note_tail(kern::Seq upto);
   /// Binomial(n, p) draw: how many of n leaves lose one packet.
   std::uint32_t draw_losses(std::uint64_t n, double p);
@@ -121,6 +128,15 @@ class ModeledReceiver final : public net::Transport {
   bool complete_reported_ = false;
 
   std::vector<Hole> holes_;   ///< sorted by begin; non-overlapping
+
+  // FEC modeling state: the sender's parity budget as observed on the
+  // wire (max row index + 1 of the current group's parities), and a
+  // per-group decode-failure dedupe mirroring HrmcReceiver's.
+  std::size_t fec_budget_ = 0;
+  kern::Seq fec_group_begin_ = 0;
+  bool fec_group_valid_ = false;
+  kern::Seq fec_fail_group_ = 0;
+  bool fec_fail_noted_ = false;
 
   ReceiverStats stats_;
   trace::TraceSink trace_;

@@ -139,6 +139,8 @@ void HrmcReceiver::crash() {
   ooo_bytes_ = 0;
   nak_list_.clear();
   fec_cache_.clear();
+  fec_parity_cache_.clear();
+  fec_fail_noted_ = false;
   fin_seq_.reset();
   complete_reported_ = false;
   resync_pending_ = false;
@@ -364,9 +366,10 @@ void HrmcReceiver::process_data(const Header& h, kern::SkBuffPtr skb) {
   const Seq end = h.seq + h.length;
   if (h.fin) fin_seq_ = end;
 
-  // FEC extension: remember full-MSS payloads so a later parity packet
-  // can reconstruct a lost sibling.
-  if (cfg_.fec_group > 0 && h.length == cfg_.mss) {
+  // FEC extension: remember data payloads so a later parity packet can
+  // reconstruct lost siblings. Sub-MSS payloads matter too: the tail
+  // shard of a truncated group is short, and decode needs its bytes.
+  if (cfg_.fec_group > 0 && h.length > 0) {
     fec_cache_store(begin, skb->bytes());
   }
 
@@ -643,12 +646,16 @@ bool HrmcReceiver::holds_bytes(Seq begin, Seq end) const {
 
 void HrmcReceiver::process_fec(const Header& h, kern::SkBuffPtr skb) {
   stats_.fec_packets_received++;
-  if (cfg_.fec_group == 0 || h.length == 0 || skb->size() != h.length ||
-      h.rate % h.length != 0) {
+  if (cfg_.fec_group == 0 || h.length == 0 || skb->size() != h.length) {
     return;
   }
-  const std::size_t k = h.rate / h.length;
-  if (k == 0 || k > 64) return;  // sanity bound
+  // The wire `rate` is the exact byte span covered: k full shards, or
+  // k-1 full plus a short tail when the group was cut short at a
+  // sub-MSS packet or end of stream.
+  const std::size_t k = (h.rate + h.length - 1) / h.length;
+  if (k == 0 || k > fec::kMaxGroup) return;  // sanity bound
+  const std::size_t parity_index = h.tries == 0 ? 0 : h.tries - 1;
+  if (parity_index >= fec::kMaxParity) return;
   const Seq span_end = h.seq + h.rate;
   if (seq_before_eq(span_end, rcv_nxt_)) return;  // group fully delivered
   // Group straddles a resync anchor: its pre-anchor packets were lost
@@ -659,40 +666,127 @@ void HrmcReceiver::process_fec(const Header& h, kern::SkBuffPtr skb) {
     stats_.fec_stale_groups++;
     return;
   }
+  fec_parity_store(h.seq, h.rate, static_cast<std::uint8_t>(parity_index),
+                   skb->bytes());
+  fec_try_decode(h.seq, h.rate, h.length);
+}
 
-  // Exactly one missing packet is recoverable.
-  Seq missing = 0;
-  std::size_t missing_count = 0;
+void HrmcReceiver::fec_parity_store(Seq begin, std::uint32_t span,
+                                    std::uint8_t index,
+                                    std::span<const std::uint8_t> payload) {
+  for (const FecParityEntry& e : fec_parity_cache_) {
+    if (e.begin == begin && e.index == index) return;  // duplicate row
+  }
+  fec_parity_cache_.push_back(
+      FecParityEntry{begin, span, index, {payload.begin(), payload.end()}});
+  const std::size_t cap =
+      std::max<std::size_t>(1, cfg_.fec_cache_groups) * fec::kMaxParity;
+  while (fec_parity_cache_.size() > cap) fec_parity_cache_.pop_front();
+}
+
+void HrmcReceiver::fec_note_decode_fail(Seq begin, Seq span_end,
+                                        std::size_t erasures,
+                                        std::size_t held) {
+  if (fec_fail_noted_ && fec_fail_group_ == begin) return;
+  fec_fail_noted_ = true;
+  fec_fail_group_ = begin;
+  stats_.fec_decode_failures++;
+  trace_.emit(trace::EventKind::kFecDecodeFail, begin, span_end, erasures,
+              static_cast<std::uint32_t>(held));
+}
+
+void HrmcReceiver::fec_try_decode(Seq begin, std::uint32_t span,
+                                  std::uint32_t shard_len) {
+  const std::size_t k = (span + shard_len - 1) / shard_len;
+  const Seq span_end = begin + span;
+  // Census: which of the k shards are missing from the stream and the
+  // out-of-order queue. The tail shard may be shorter than shard_len.
+  const auto shard_bytes = [&](std::size_t i) -> std::uint32_t {
+    return i + 1 < k ? shard_len
+                     : span - static_cast<std::uint32_t>(k - 1) * shard_len;
+  };
+  std::vector<std::size_t> missing;
   for (std::size_t i = 0; i < k; ++i) {
-    const Seq b = h.seq + static_cast<Seq>(i * h.length);
-    if (!holds_bytes(b, b + h.length)) {
-      missing = b;
-      ++missing_count;
+    const Seq b = begin + static_cast<Seq>(i) * shard_len;
+    if (!holds_bytes(b, b + shard_bytes(i))) missing.push_back(i);
+  }
+  if (missing.empty()) return;
+
+  // Parity rows held for this exact group.
+  std::vector<fec::ParityShard> parities;
+  for (const FecParityEntry& e : fec_parity_cache_) {
+    if (e.begin == begin && e.span == span && e.bytes.size() == shard_len) {
+      parities.push_back(fec::ParityShard{e.index, e.bytes.data()});
     }
   }
-  if (missing_count != 1) return;
+  if (missing.size() > parities.size()) {
+    // More erasures than parity rows in hand. With r > 1 a sibling row
+    // may still be in flight, so this is not terminal — but if no
+    // further row arrives, ARQ recovers on the normal NAK clock; note
+    // the budget overrun once for the trace / stats.
+    fec_note_decode_fail(begin, span_end, missing.size(), parities.size());
+    return;
+  }
 
-  // XOR the parity with the k-1 cached siblings.
-  std::vector<std::uint8_t> out(skb->data(), skb->data() + h.length);
+  // Gather the present shards' bytes, zero-padded to shard_len.
+  std::vector<std::vector<std::uint8_t>> padded(k);
+  std::vector<const std::uint8_t*> shards(k, nullptr);
+  std::size_t m = 0;
   for (std::size_t i = 0; i < k; ++i) {
-    const Seq b = h.seq + static_cast<Seq>(i * h.length);
-    if (b == missing) continue;
+    if (m < missing.size() && missing[m] == i) {
+      ++m;
+      continue;  // erasure: decode reconstructs it
+    }
+    const Seq b = begin + static_cast<Seq>(i) * shard_len;
     const FecCacheEntry* e = fec_cache_find(b);
-    if (e == nullptr || e->bytes.size() != h.length) {
-      return;  // a sibling's bytes are no longer available
+    if (e == nullptr || e->bytes.size() != shard_bytes(i)) {
+      // The stream holds this shard but its payload aged out of the
+      // bounded cache (or arrived pre-FEC): the group is undecodable.
+      fec_note_decode_fail(begin, span_end, missing.size(),
+                           parities.size());
+      return;
     }
-    for (std::size_t j = 0; j < h.length; ++j) out[j] ^= e->bytes[j];
+    padded[i].assign(shard_len, 0);
+    std::memcpy(padded[i].data(), e->bytes.data(), e->bytes.size());
+    shards[i] = padded[i].data();
   }
 
-  kern::SkBuffPtr rebuilt = kern::SkBuff::alloc(h.length, 64);
-  std::memcpy(rebuilt->put(h.length), out.data(), h.length);
-  stats_.fec_recoveries++;
-  fec_cache_store(missing, rebuilt->bytes());
-  splice_reconstructed(missing, std::move(rebuilt));
+  std::vector<std::vector<std::uint8_t>> out;
+  if (!fec::decode(k, shard_len, shards, parities, out)) {
+    fec_note_decode_fail(begin, span_end, missing.size(), parities.size());
+    return;
+  }
+  if (fec_fail_noted_ && fec_fail_group_ == begin) fec_fail_noted_ = false;
+
+  // Splice the reconstructed shards in ascending position order.
+  for (std::size_t a = 0; a < missing.size(); ++a) {
+    const std::size_t i = missing[a];
+    const Seq b = begin + static_cast<Seq>(i) * shard_len;
+    const std::uint32_t len = shard_bytes(i);
+    kern::SkBuffPtr rebuilt = kern::SkBuff::alloc(len, 64);
+    std::memcpy(rebuilt->put(len), out[a].data(), len);
+    stats_.fec_recoveries++;
+    trace_.emit(trace::EventKind::kFecRepair, b, b + len, missing.size());
+    fec_cache_store(b, rebuilt->bytes());
+    splice_reconstructed(b, std::move(rebuilt));
+  }
 }
 
 void HrmcReceiver::splice_reconstructed(Seq begin, kern::SkBuffPtr skb) {
   const Seq end = begin + static_cast<Seq>(skb->size());
+  // Repairer role: a reconstructed packet is repair currency like any
+  // arriving DATA — a child missing it can be answered locally instead
+  // of forwarding its NAK upstream. Feed the cache before any trimming
+  // below mutates the buffer.
+  if (repair_ && skb->size() > 0) {
+    Header rh;
+    rh.seq = begin;
+    rh.length = static_cast<std::uint32_t>(skb->size());
+    rh.type = PacketType::kData;
+    rh.tries = 2;
+    rh.fin = fin_seq_.has_value() && *fin_seq_ == end;
+    repair_->cache_data(rh, skb);
+  }
   if (occupancy() + skb->size() > cfg_.rcvbuf) return;  // no room
   if (seq_before(begin, rcv_nxt_)) {
     if (seq_before_eq(end, rcv_nxt_)) return;
@@ -760,6 +854,8 @@ void HrmcReceiver::process_join_response(const Header& h) {
       // packets were lost with the crash).
       fec_anchor_ = h.seq;
       fec_cache_.clear();
+      fec_parity_cache_.clear();
+      fec_fail_noted_ = false;
       resync_pending_ = false;
       ++resyncs_;
       trace_.emit(trace::EventKind::kResync, rcv_nxt_, rcv_nxt_,

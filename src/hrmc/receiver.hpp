@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "hrmc/config.hpp"
+#include "hrmc/fec.hpp"
 #include "hrmc/nak_list.hpp"
 #include "hrmc/rtt.hpp"
 #include "hrmc/stats.hpp"
@@ -291,8 +292,9 @@ class HrmcReceiver final : public net::Transport {
   trace::TraceSink trace_;
   int fc_region_ = 0;  ///< last flow-control region (0/1/2)
 
-  // FEC extension: cache of recent full-MSS data payloads, used to
-  // reconstruct a single missing packet of a parity group. Bounded by
+  // FEC extension: cache of recent data payloads (any length — the tail
+  // shard of a truncated group is sub-MSS), used to reconstruct up to r
+  // missing packets of a parity group via fec::decode. Bounded by
   // cfg_.fec_cache_groups * cfg_.fec_group entries.
   struct FecCacheEntry {
     kern::Seq begin = 0;
@@ -304,6 +306,33 @@ class HrmcReceiver final : public net::Transport {
   [[nodiscard]] bool holds_bytes(kern::Seq begin, kern::Seq end) const;
   void splice_reconstructed(kern::Seq begin, kern::SkBuffPtr skb);
   std::deque<FecCacheEntry> fec_cache_;
+  /// Parity shards held per group, keyed by (group begin, row index):
+  /// with r > 1 the first parity of a group may arrive while decode
+  /// still needs a sibling row, so rows are cached until the group
+  /// decodes, completes via ARQ, or ages out. Bounded by
+  /// cfg_.fec_cache_groups * fec::kMaxParity entries.
+  struct FecParityEntry {
+    kern::Seq begin = 0;       ///< first byte of the protected group
+    std::uint32_t span = 0;    ///< exact byte span covered (wire `rate`)
+    std::uint8_t index = 0;    ///< parity row (wire `tries` - 1)
+    std::vector<std::uint8_t> bytes;
+  };
+  void fec_parity_store(kern::Seq begin, std::uint32_t span,
+                        std::uint8_t index,
+                        std::span<const std::uint8_t> payload);
+  /// Attempts an erasure decode of the group [begin, begin + span) with
+  /// shard size shard_len, using every parity row held for it.
+  void fec_try_decode(kern::Seq begin, std::uint32_t span,
+                      std::uint32_t shard_len);
+  /// Records a decode failure (losses exceed the parities held, or a
+  /// needed sibling was evicted) once per group: kFecDecodeFail + stat.
+  void fec_note_decode_fail(kern::Seq begin, kern::Seq span_end,
+                            std::size_t erasures, std::size_t held);
+  std::deque<FecParityEntry> fec_parity_cache_;
+  /// Decode-failure dedupe: a group with more erasures than parities
+  /// sees every later parity arrival fail the same way; report it once.
+  kern::Seq fec_fail_group_ = 0;
+  bool fec_fail_noted_ = false;
   /// Stream position of the most recent (re)anchor: initial_seq, moved
   /// forward by a crash-restart / late-join resync. A parity group that
   /// straddles it mixes pre-crash history with post-resync data and is

@@ -30,6 +30,7 @@ HrmcSender::HrmcSender(net::Host& host, const Config& cfg,
       retrans_timer_(host.scheduler(), [this] { transmit_pump(); }),
       ka_timer_(host.scheduler(), [this] { keepalive_fire(); }),
       join_batch_timer_(host.scheduler(), [this] { join_batch_flush(); }),
+      fec_adapt_timer_(host.scheduler(), [this] { fec_adapt_fire(); }),
       ka_period_(cfg.keepalive_init),
       last_forward_send_(host.scheduler().now()) {
   snd_wnd_ = snd_nxt_ = snd_sent_ = cfg_.initial_seq;
@@ -37,6 +38,19 @@ HrmcSender::HrmcSender(net::Host& host, const Config& cfg,
   rate_.restart();
   last_pump_ = host_.scheduler().now();
   ka_timer_.mod_timer_in(ka_period_);
+  if (cfg_.fec_group > 0) {
+    fec_rate_r_ = std::clamp<std::size_t>(cfg_.fec_parity_min, 1,
+                                          fec::kMaxParity);
+    stats_.fec_parity_rate = fec_rate_r_;
+    if (cfg_.fec_adapt_interval > 0) {
+      fec_adapt_timer_.mod_timer_in(fec_adapt_jiffies());
+    }
+  }
+}
+
+kern::Jiffies HrmcSender::fec_adapt_jiffies() const {
+  return std::max<kern::Jiffies>(
+      1, static_cast<kern::Jiffies>(cfg_.fec_adapt_interval / kern::kJiffy));
 }
 
 HrmcSender::~HrmcSender() {
@@ -57,6 +71,7 @@ void HrmcSender::stop() {
   retrans_timer_.del_timer();
   ka_timer_.del_timer();
   join_batch_timer_.del_timer();
+  fec_adapt_timer_.del_timer();
 }
 
 // --------------------------------------------------------------------
@@ -106,11 +121,14 @@ void HrmcSender::close() {
   if (fin_closed_) return;
   fin_closed_ = true;
   if (first_unsent_ < write_queue_.size()) {
-    // The last backlogged packet will carry FIN.
+    // The last backlogged packet will carry FIN (fec_accumulate flushes
+    // the open parity group when it transmits).
     write_queue_.back().fin = true;
   } else {
-    // Everything already transmitted (or nothing to send): announce the
-    // end of stream via a FIN-flagged KEEPALIVE right away.
+    // Everything already transmitted (or nothing to send): flush any
+    // open parity group — the stream tail must not go unprotected —
+    // then announce the end of stream via a FIN-flagged KEEPALIVE.
+    if (cfg_.fec_group > 0) fec_flush();
     emit_control_packet(PacketType::kKeepalive, group_.addr, snd_sent_,
                         rate_.rate(), 0, /*urg=*/false, /*fin=*/true);
     stats_.keepalives_sent++;
@@ -198,43 +216,155 @@ std::uint64_t HrmcSender::send_new_data(std::uint64_t budget) {
     budget -= plen;
     stats_.data_packets_sent++;
     stats_.data_bytes_sent += plen;
-    if (cfg_.fec_group > 0) fec_accumulate(rec);
+    if (cfg_.fec_group > 0) {
+      // Parity bytes come out of the same pacing budget as data: the
+      // wire stays conformant to the advertised rate with FEC on
+      // (trace invariant 3 "including parity bytes").
+      const std::uint64_t parity = fec_accumulate(rec);
+      budget -= std::min(budget, parity);
+    }
   }
   return budget;
 }
 
-void HrmcSender::fec_accumulate(const TxRecord& rec) {
-  // Parity protects groups of contiguous full-MSS first transmissions;
-  // a short (stream-tail) packet aborts the open group — the normal NAK
-  // path covers it.
-  if (payload_len(rec) != cfg_.mss) {
-    fec_reset();
-    return;
-  }
+std::uint64_t HrmcSender::fec_accumulate(const TxRecord& rec) {
+  // Parity protects groups of contiguous first transmissions. A short
+  // (sub-MSS) packet or the stream FIN closes the group early and the
+  // parity flushes over the bytes it actually covers — the seed XOR
+  // path discarded the accumulator here, leaving every transfer tail
+  // (and every transfer shorter than fec_group packets) unprotected.
+  const std::size_t plen = payload_len(rec);
   if (fec_count_ == 0) {
     fec_begin_ = rec.seq_begin;
-    fec_xor_.assign(cfg_.mss, 0);
+    fec_parity_.assign(fec_parity_rows(),
+                       std::vector<std::uint8_t>(cfg_.mss, 0));
+    fec_bytes_ = 0;
   }
   const std::uint8_t* p = rec.payload->data();
-  for (std::size_t i = 0; i < cfg_.mss; ++i) fec_xor_[i] ^= p[i];
-  if (++fec_count_ < cfg_.fec_group) return;
+  for (std::size_t j = 0; j < fec_parity_.size(); ++j) {
+    // Only plen bytes are combined; the shard's tail past plen is
+    // implicitly zero (zero-padded coding), contributing nothing.
+    fec::accumulate(fec_parity_[j].data(), p, plen,
+                    fec::coefficient(j, fec_count_));
+  }
+  fec_bytes_ += plen;
+  ++fec_count_;
+  if (fec_count_ >= fec_effective_group() || plen != cfg_.mss || rec.fin) {
+    return fec_flush();
+  }
+  return 0;
+}
 
-  kern::SkBuffPtr skb = kern::SkBuff::alloc(cfg_.mss, Header::kSize + 44);
-  std::memcpy(skb->put(cfg_.mss), fec_xor_.data(), cfg_.mss);
-  Header h;
-  h.sport = local_port_;
-  h.dport = group_.port;
-  h.seq = fec_begin_;
-  h.rate = static_cast<std::uint32_t>(cfg_.fec_group * cfg_.mss);  // span
-  h.length = static_cast<std::uint32_t>(cfg_.mss);
-  h.tries = 1;
-  h.type = PacketType::kFec;
-  write_header(*skb, h);
-  skb->daddr = group_.addr;
-  skb->protocol = kIpProtoHrmc;
-  stats_.fec_packets_sent++;
-  host_.send(std::move(skb));
+std::uint64_t HrmcSender::fec_flush() {
+  if (fec_count_ == 0) return 0;
+  // Parity payload length = the longest shard in the group: mss unless
+  // the group is a single sub-MSS packet.
+  const std::size_t plen =
+      std::min<std::size_t>(cfg_.mss, static_cast<std::size_t>(fec_bytes_));
+  std::uint64_t wire = 0;
+  for (std::size_t j = 0; j < fec_parity_.size(); ++j) {
+    kern::SkBuffPtr skb = kern::SkBuff::alloc(plen, Header::kSize + 44);
+    std::memcpy(skb->put(plen), fec_parity_[j].data(), plen);
+    Header h;
+    h.sport = local_port_;
+    h.dport = group_.port;
+    h.seq = fec_begin_;
+    // Exact byte span covered (k*mss for a full group; less when the
+    // group was cut short), so the receiver can size the tail shard.
+    h.rate = static_cast<std::uint32_t>(fec_bytes_);
+    h.length = static_cast<std::uint32_t>(plen);
+    h.tries = static_cast<std::uint8_t>(j + 1);  // parity row index + 1
+    h.type = PacketType::kFec;
+    write_header(*skb, h);
+    skb->daddr = group_.addr;
+    skb->protocol = kIpProtoHrmc;
+    stats_.fec_packets_sent++;
+    stats_.fec_parity_bytes += plen;
+    wire += plen;
+    if (dev_credit_ > 0) --dev_credit_;
+    host_.send(std::move(skb));
+  }
   fec_reset();
+  return wire;
+}
+
+std::size_t HrmcSender::fec_parity_rows() const {
+  const std::size_t r_min =
+      std::clamp<std::size_t>(cfg_.fec_parity_min, 1, fec::kMaxParity);
+  if (cfg_.fec_adapt_interval <= 0) return r_min;
+  return std::clamp<std::size_t>(fec_rate_r_, r_min, fec::kMaxParity);
+}
+
+void HrmcSender::fec_adapt_fire() {
+  if (cfg_.fec_group == 0 || cfg_.fec_adapt_interval <= 0) return;
+  const std::size_t r_min =
+      std::clamp<std::size_t>(cfg_.fec_parity_min, 1, fec::kMaxParity);
+  const std::size_t r_max = std::clamp<std::size_t>(
+      std::max(cfg_.fec_parity_max, cfg_.fec_parity_min), r_min,
+      fec::kMaxParity);
+
+  const std::uint64_t naks = stats_.naks_received;
+  const std::uint64_t pkts =
+      stats_.data_packets_sent + stats_.retransmissions;
+  const std::uint64_t d_naks = naks - fec_epoch_naks_;
+  const std::uint64_t d_pkts = pkts - fec_epoch_packets_;
+  fec_epoch_naks_ = naks;
+  fec_epoch_packets_ = pkts;
+
+  // Target from the loss rate the feedback channel reports: NAK ranges
+  // per transmitted packet this epoch, scaled to expected losses per
+  // group, plus one row of burst headroom whenever loss was seen at all.
+  std::size_t target = r_min;
+  if (d_pkts > 0 && d_naks > 0) {
+    const double loss =
+        static_cast<double>(d_naks) / static_cast<double>(d_pkts);
+    const double per_group =
+        loss * static_cast<double>(fec_effective_group());
+    target = std::max<std::size_t>(
+        target, static_cast<std::size_t>(std::ceil(per_group)) + 1);
+  }
+  // AGG_UPDATE subtree minima: a subtree minimum that is far behind the
+  // send head AND has stopped advancing for consecutive epochs while
+  // data keeps moving means some subtree is losing more than its NAK
+  // volume (suppressed / aggregated below us) admits. Lag alone is not
+  // a signal — in-flight data lags the send head even on a clean path.
+  if (d_pkts > 0 && !members_.empty()) {
+    Seq mn = snd_sent_;
+    members_.for_each(
+        [&](McMember& m) { mn = seq_min(mn, m.next_expected); });
+    const std::uint64_t lag =
+        static_cast<std::uint64_t>(seq_diff(mn, snd_sent_));
+    const std::uint64_t group_bytes =
+        static_cast<std::uint64_t>(fec_effective_group()) * cfg_.mss;
+    if (group_bytes > 0 && lag > 8 * group_bytes && fec_min_valid_ &&
+        mn == fec_epoch_min_) {
+      if (++fec_min_stalled_ >= 2) ++target;
+    } else {
+      fec_min_stalled_ = 0;
+    }
+    fec_epoch_min_ = mn;
+    fec_min_valid_ = true;
+  }
+  target = std::clamp(target, r_min, r_max);
+
+  // Damped moves: one step per epoch; decreases additionally wait for
+  // fec_hysteresis_epochs of consecutive under-target epochs so one
+  // quiet epoch inside a loss burst does not shed the protection.
+  if (target > fec_rate_r_) {
+    ++fec_rate_r_;
+    fec_low_epochs_ = 0;
+    stats_.fec_rate_increases++;
+  } else if (target < fec_rate_r_) {
+    if (++fec_low_epochs_ >= std::max(1, cfg_.fec_hysteresis_epochs)) {
+      --fec_rate_r_;
+      fec_low_epochs_ = 0;
+      stats_.fec_rate_decreases++;
+    }
+  } else {
+    fec_low_epochs_ = 0;
+  }
+  stats_.fec_parity_rate = fec_rate_r_;
+  fec_adapt_timer_.mod_timer_in(fec_adapt_jiffies());
 }
 
 std::uint64_t HrmcSender::service_retransmissions(std::uint64_t budget) {

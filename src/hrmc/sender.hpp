@@ -21,12 +21,15 @@
 // RMC protocol, used as the baseline throughout the evaluation.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "hrmc/config.hpp"
+#include "hrmc/fec.hpp"
 #include "hrmc/member.hpp"
 #include "hrmc/rate.hpp"
 #include "hrmc/rtt.hpp"
@@ -242,13 +245,42 @@ class HrmcSender final : public net::Transport {
   SenderStats stats_;
   trace::TraceSink trace_;
 
-  // FEC accumulation (extension; active when cfg_.fec_group > 0): XOR
-  // of the payloads of the current group of full-MSS first transmissions.
-  void fec_accumulate(const TxRecord& rec);
+  // FEC accumulation (extension; active when cfg_.fec_group > 0):
+  // GF(256) Reed–Solomon parity rows (fec.hpp; row 0 is the plain XOR)
+  // over the current group of first transmissions. A sub-MSS packet or
+  // the stream FIN flushes the open group over the bytes it actually
+  // covers — absent tail shards are implicitly zero — so transfer
+  // tails and short transfers are protected too. Both return the
+  // parity bytes put on the wire so the pump charges them against the
+  // pacing budget (rate conformance including parity, invariant 3).
+  std::uint64_t fec_accumulate(const TxRecord& rec);
+  std::uint64_t fec_flush();
   void fec_reset() { fec_count_ = 0; }
-  std::vector<std::uint8_t> fec_xor_;
+  /// Data shards per group, clamped to the codec's table bound.
+  [[nodiscard]] std::size_t fec_effective_group() const {
+    return std::min(cfg_.fec_group, fec::kMaxGroup);
+  }
+  /// Parity rows for the next group: the adaptive rate when the
+  /// controller runs, the configured floor otherwise.
+  [[nodiscard]] std::size_t fec_parity_rows() const;
+  /// Per-epoch adaptive parity-rate controller (DESIGN.md §15): driven
+  /// by the loss the feedback channel already reports — NAK volume per
+  /// data packet plus the AGG_UPDATE subtree-minimum lag — clamped to
+  /// [fec_parity_min, fec_parity_max], damped to one step per epoch,
+  /// decreases additionally held for fec_hysteresis_epochs.
+  void fec_adapt_fire();
+  [[nodiscard]] kern::Jiffies fec_adapt_jiffies() const;
+  std::vector<std::vector<std::uint8_t>> fec_parity_;
   std::size_t fec_count_ = 0;
   kern::Seq fec_begin_ = 0;
+  std::uint64_t fec_bytes_ = 0;     ///< bytes covered by the open group
+  std::size_t fec_rate_r_ = 1;      ///< current adaptive parity count
+  std::uint64_t fec_epoch_naks_ = 0;
+  std::uint64_t fec_epoch_packets_ = 0;
+  int fec_low_epochs_ = 0;          ///< consecutive under-target epochs
+  kern::Seq fec_epoch_min_ = 0;     ///< subtree minimum at last epoch
+  bool fec_min_valid_ = false;      ///< fec_epoch_min_ has been sampled
+  int fec_min_stalled_ = 0;         ///< consecutive epochs min not moving
 
   /// Start of the current release-gate stall (-1 = not stalled): set
   /// when the head's hold has expired but member information is
@@ -286,6 +318,7 @@ class HrmcSender final : public net::Transport {
   kern::TimerList retrans_timer_;
   kern::TimerList ka_timer_;
   kern::TimerList join_batch_timer_;
+  kern::TimerList fec_adapt_timer_;
   kern::Jiffies ka_period_;
   sim::SimTime last_forward_send_ = 0;
 };

@@ -67,6 +67,12 @@ struct SenderStats {
 
   // FEC extension (§6 future work (4))
   std::uint64_t fec_packets_sent = 0;
+  std::uint64_t fec_parity_bytes = 0;  ///< wire bytes spent on parity
+  /// Adaptive parity-rate controller (DESIGN.md §15): current r and the
+  /// number of epoch steps taken in each direction.
+  std::uint64_t fec_parity_rate = 0;
+  std::uint64_t fec_rate_increases = 0;
+  std::uint64_t fec_rate_decreases = 0;
 };
 
 struct ReceiverStats {
@@ -111,6 +117,10 @@ struct ReceiverStats {
   /// Partial FEC groups discarded because they straddled a resync anchor
   /// (crash-restart mid-group must not XOR new payloads into stale state).
   std::uint64_t fec_stale_groups = 0;
+  /// Groups where the losses exceeded the available parity budget (or a
+  /// needed sibling had been evicted from the cache): recovery falls
+  /// back to the NAK path.
+  std::uint64_t fec_decode_failures = 0;
 };
 
 }  // namespace hrmc::proto

@@ -42,8 +42,15 @@
 //    (snd_nxt) in responses so late joiners can synchronize.
 //  - NAK_ERR:   seq/rate/length echo the unsatisfiable request.
 //  - FEC:       seq = first byte of the protected group, rate = the
-//               group's span in bytes (k*mss), length = parity payload
-//               size; payload = XOR of the k data payloads.
+//               group's span in bytes (k*mss for a full group; a group
+//               cut short by a sub-MSS packet or end-of-stream carries
+//               the exact byte span it covers, so the final shard may
+//               be partial and is zero-padded for coding), length =
+//               parity payload size, tries = parity row index + 1
+//               (Reed–Solomon row; row 0 is the plain XOR, so tries=1
+//               is bit-compatible with the original single-XOR parity);
+//               payload = GF(256) combination of the k data payloads
+//               with fec::coefficient(row, shard).
 //  - AGG_UPDATE: hierarchical-repair extension. seq = the minimum next
 //               expected byte across the subtree the emitter represents,
 //               rate = the number of members it stands for (itself plus

@@ -78,6 +78,13 @@ enum class EventKind : std::uint8_t {
   kNakForward = 35, ///< repairer forwarded a child NAK up; [missing range),
                     ///< value = repairer rcv_nxt
 
+  // FEC extension (adaptive Reed–Solomon parity).
+  kFecRepair = 36,  ///< packet rebuilt from parity; [seq range) of the
+                    ///< reconstructed packet, value = erasures in group
+  kFecDecodeFail = 37,  ///< group losses exceeded the parity budget (or a
+                        ///< needed sibling was evicted); [group span),
+                        ///< value = erasure count, aux = parities held
+
   // Network (net::Router / net::Nic).
   kEnqueue = 40,     ///< router egress enqueue; value = wire size
   kDrop = 41,        ///< packet dropped; value = wire size, aux = reason

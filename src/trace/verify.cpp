@@ -40,6 +40,8 @@ const char* kind_name(EventKind k) {
     case EventKind::kNakPeerSuppress: return "nak_peer_suppress";
     case EventKind::kRepairTx: return "repair_tx";
     case EventKind::kNakForward: return "nak_forward";
+    case EventKind::kFecRepair: return "fec_repair";
+    case EventKind::kFecDecodeFail: return "fec_decode_fail";
     case EventKind::kNakEmit: return "nak";
     case EventKind::kNakSuppress: return "nak_suppress";
     case EventKind::kUpdate: return "update";
@@ -299,6 +301,17 @@ class Verifier {
         break;
       case EventKind::kOooInsert:
         if (opt_.check_nak) fill_naks(r.host, r.seq_begin, r.seq_end);
+        break;
+      case EventKind::kFecRepair:
+        // A parity reconstruction buffers the missing packet exactly
+        // like an arriving retransmission would: any pending NAK it
+        // covers is moot, and release safety sees the position advance
+        // through the receiver's ordinary coverage reports.
+        if (opt_.check_nak) fill_naks(r.host, r.seq_begin, r.seq_end);
+        break;
+      case EventKind::kFecDecodeFail:
+        // Informational: the group falls back to the NAK path, whose
+        // own kNakEmit/kRetransmit records carry the obligations.
         break;
       case EventKind::kDown:
         if (is_receiver_host(r.host)) {

@@ -70,6 +70,11 @@ void expect_identical(const RunResult& want, const RunResult& have,
   EXPECT_EQ(want.sender.leaves_received, have.sender.leaves_received);
   EXPECT_EQ(want.sender.members_evicted, have.sender.members_evicted);
   EXPECT_EQ(want.sender.window_stall_time, have.sender.window_stall_time);
+  EXPECT_EQ(want.sender.fec_packets_sent, have.sender.fec_packets_sent);
+  EXPECT_EQ(want.sender.fec_parity_bytes, have.sender.fec_parity_bytes);
+  EXPECT_EQ(want.sender.fec_parity_rate, have.sender.fec_parity_rate);
+  EXPECT_EQ(want.sender.fec_rate_increases, have.sender.fec_rate_increases);
+  EXPECT_EQ(want.sender.fec_rate_decreases, have.sender.fec_rate_decreases);
 
   // Per-receiver counters, every slot.
   ASSERT_EQ(want.per_receiver.size(), have.per_receiver.size());
@@ -169,6 +174,35 @@ TEST(ShardDifferential, MembershipChurnMidStream) {
   const RunResult serial = run_battery_cell(sc);
   EXPECT_TRUE(serial.sender_finished);
   EXPECT_GT(serial.shard_control_posts, 0u);
+}
+
+TEST(ShardDifferential, AdaptiveFecUnderBurstLoss) {
+  // Adaptive RS-FEC on, hierarchy on, Gilbert–Elliott burst loss on the
+  // group-0 router: parity encode at the sender (domain 0), RS decode +
+  // kFecRepair/kFecDecodeFail tracing at the receivers (group domains),
+  // and the per-epoch rate adaptation must all be bit-identical at any
+  // worker count — the codec and the adaptation law draw no RNG and
+  // read no wall clock.
+  Workload wl;
+  wl.file_bytes = 384 * 1024;
+  Scenario sc = test_case_scenario(4, 12, 10e6, 256u << 10, wl, 20260810);
+  sc.name = "shard-adaptive-fec";
+  sc.hierarchy.enabled = true;
+  sc.proto.fec_group = 8;
+  sc.proto.fec_parity_min = 1;
+  sc.proto.fec_parity_max = 4;
+  sc.proto.fec_adapt_interval = sim::milliseconds(100);
+  net::GilbertElliottConfig ge;
+  ge.p_good_bad = 0.01;
+  ge.p_bad_good = 0.2;
+  ge.loss_good = 0.005;
+  ge.loss_bad = 1.0;
+  sc.faults.burst_loss(0, 0, ge);
+  sc.trace.enabled = true;
+  sc.time_limit = sim::seconds(600);
+  const RunResult serial = run_battery_cell(sc);
+  EXPECT_TRUE(serial.sender_finished);
+  EXPECT_GT(serial.sender.fec_packets_sent, 0u);
 }
 
 TEST(ShardDifferential, LegacyAndShardedAgreeOnOutcome) {

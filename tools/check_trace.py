@@ -244,6 +244,16 @@ class Checker:
         elif k == "ooo_insert":
             if self.check_nak:
                 self.fill(host, r["seq_begin"], r["seq_end"])
+        elif k == "fec_repair":
+            # A parity reconstruction buffers the missing packet like an
+            # arriving retransmission: pending NAKs it covers are moot,
+            # and the position advance reaches release safety through
+            # the receiver's ordinary coverage reports.
+            if self.check_nak:
+                self.fill(host, r["seq_begin"], r["seq_end"])
+        elif k == "fec_decode_fail":
+            # Informational: the group falls back to the NAK path.
+            pass
         elif k == "down":
             if 1 <= host < RECEIVER_HOST_MAX:
                 self.state(host)[1] = True
