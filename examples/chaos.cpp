@@ -27,7 +27,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--start S] [--threads T]\n"
                "          [--repro-dir DIR] [--no-shrink] "
-               "[--shrink-budget R]\n"
+               "[--shrink-budget R] [--mem]\n"
                "       %s --replay FILE\n",
                argv0, argv0);
   return 2;
@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   std::string repro_dir = ".";
   std::string replay_file;
   bool do_shrink = true;
+  bool mem = false;
   int shrink_budget = 200;
 
   for (int i = 1; i < argc; ++i) {
@@ -97,6 +98,10 @@ int main(int argc, char** argv) {
       replay_file = v;
     } else if (arg == "--no-shrink") {
       do_shrink = false;
+    } else if (arg == "--mem") {
+      // Memory-pressure sweep (DESIGN.md §16): every seed gets a
+      // per-host budget plus squeeze / alloc-fail windows.
+      mem = true;
     } else if (arg == "--shrink-budget") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -109,7 +114,7 @@ int main(int argc, char** argv) {
   if (!replay_file.empty()) return replay(replay_file);
   if (seeds <= 0) return usage(argv[0]);
 
-  const auto outcomes = hrmc::harness::sweep(start, seeds, threads);
+  const auto outcomes = hrmc::harness::sweep(start, seeds, threads, mem);
   int failures = 0;
   for (const auto& o : outcomes) {
     if (o.verdict.ok) continue;
@@ -129,7 +134,8 @@ int main(int argc, char** argv) {
     for (const auto& o : outcomes) {
       if (o.verdict.ok) continue;
       if (written >= 3) break;  // minimizing a few failures is plenty
-      const auto spec = hrmc::harness::generate_spec(o.seed);
+      const auto spec = mem ? hrmc::harness::generate_mem_spec(o.seed)
+                            : hrmc::harness::generate_spec(o.seed);
       const auto small = hrmc::harness::shrink(spec, shrink_budget);
       const auto final_verdict = hrmc::harness::judge(small);
       const std::string path = repro_dir + "/chaos-repro-seed" +

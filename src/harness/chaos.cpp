@@ -47,6 +47,10 @@ std::optional<FaultKind> partner_of(FaultKind k) {
     case FaultKind::kTrunkUp: return FaultKind::kTrunkDown;
     case FaultKind::kWirelessStart: return FaultKind::kWirelessStop;
     case FaultKind::kWirelessStop: return FaultKind::kWirelessStart;
+    case FaultKind::kMemPressureStart: return FaultKind::kMemPressureStop;
+    case FaultKind::kMemPressureStop: return FaultKind::kMemPressureStart;
+    case FaultKind::kAllocFailStart: return FaultKind::kAllocFailStop;
+    case FaultKind::kAllocFailStop: return FaultKind::kAllocFailStart;
   }
   return std::nullopt;
 }
@@ -287,6 +291,37 @@ ChaosSpec generate_spec(std::uint64_t seed) {
   return s;
 }
 
+ChaosSpec generate_mem_spec(std::uint64_t seed) {
+  // Appends to the base spec from a *separate* RNG substream, so the
+  // base generator's draw sequence — and with it every pinned chaos
+  // seed in tests and CI — stays bit-identical to pre-§16 builds.
+  ChaosSpec s = generate_spec(seed);
+  sim::Rng rng(sim::substream_seed(seed, "chaos/mem"));
+  // Budget sized so steady-state occupancy (send window + reassembly +
+  // caches) fits the full budget with headroom: only the squeeze /
+  // alloc-fail windows below bite, and they are paired — survivable by
+  // construction, like every other generated fault.
+  s.mem_budget =
+      static_cast<std::uint64_t>(s.kernel_buf) * 4 + (512u * 1024);
+  const sim::SimTime t0 = sim::milliseconds(50 + rng.uniform_int(0, 250));
+  const sim::SimTime t1 = t0 + sim::milliseconds(30 + rng.uniform_int(0, 200));
+  FaultEvent squeeze = make_fault(FaultKind::kMemPressureStart, t0, 0);
+  squeeze.mem_fraction = rng.uniform(0.4, 0.9);
+  s.faults.push_back(squeeze);
+  s.faults.push_back(make_fault(FaultKind::kMemPressureStop, t1, 0));
+  if (rng.chance(0.5)) {
+    const sim::SimTime a0 = sim::milliseconds(50 + rng.uniform_int(0, 250));
+    const sim::SimTime a1 =
+        a0 + sim::milliseconds(30 + rng.uniform_int(0, 200));
+    FaultEvent af = make_fault(FaultKind::kAllocFailStart, a0, 0);
+    af.alloc_fail_prob = rng.uniform(0.02, 0.15);
+    s.faults.push_back(af);
+    s.faults.push_back(make_fault(FaultKind::kAllocFailStop, a1, 0));
+  }
+  s.eviction = proto::EvictionPolicy::kStall;
+  return s;
+}
+
 ChaosSpec generate_soak_spec(std::uint64_t seed) {
   sim::Rng rng(sim::substream_seed(seed, "chaos/soak"));
   ChaosSpec s;
@@ -399,6 +434,7 @@ Scenario to_scenario(const ChaosSpec& spec) {
   sc.faults.events = spec.faults;
   sc.churn = spec.churn;
   sc.hierarchy.enabled = spec.hierarchy;
+  sc.mem_budget = spec.mem_budget;
   sc.trace.enabled = true;
   return sc;
 }
@@ -422,6 +458,11 @@ ChaosVerdict judge_result(const ChaosSpec& spec, const RunResult& res) {
   }
   if (res.any_stream_error) fail("receiver reported a stream error");
   if (!res.verify_ok) fail("delivered byte pattern failed verification");
+  if (spec.mem_budget > 0 && res.mem_peak_bytes > spec.mem_budget) {
+    fail("memory budget exceeded: peak " +
+         std::to_string(res.mem_peak_bytes) + " > budget " +
+         std::to_string(spec.mem_budget));
+  }
   if (res.trace_dropped == 0) {
     trace::VerifyOptions opt;
     // Release safety is undefined under kRmcFallback by design
@@ -432,6 +473,9 @@ ChaosVerdict judge_result(const ChaosSpec& spec, const RunResult& res) {
     // reorder holds, blackouts up to ~5 s); the bound stays a liveness
     // floor, not a latency SLO.
     opt.nak_answer_bound = sim::seconds(15);
+    // Invariant 4 (budget safety): every kAllocFail / kCacheEvict
+    // record's ledger-live value must stay within the per-host budget.
+    opt.mem_budget = spec.mem_budget;
     const trace::VerifyResult tv = trace::verify(res.trace_records, opt);
     if (!tv.ok) {
       fail("trace invariant violated: " +
@@ -454,12 +498,13 @@ ChaosVerdict judge(const ChaosSpec& spec) {
 }
 
 std::vector<ChaosOutcome> sweep(std::uint64_t start, int count,
-                                unsigned threads) {
+                                unsigned threads, bool mem) {
   std::vector<ChaosSpec> specs;
   std::vector<Scenario> cells;
   specs.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
-    specs.push_back(generate_spec(start + static_cast<std::uint64_t>(i)));
+    const std::uint64_t seed = start + static_cast<std::uint64_t>(i);
+    specs.push_back(mem ? generate_mem_spec(seed) : generate_spec(seed));
     cells.push_back(to_scenario(specs.back()));
   }
   std::vector<ChaosOutcome> out(specs.size());
@@ -509,6 +554,7 @@ std::string serialize_spec(const ChaosSpec& spec) {
   // Emitted only when set: repro files without hierarchy stay readable
   // by parsers predating the field (which reject unknown keys).
   if (spec.hierarchy) os << "hierarchy 1\n";
+  if (spec.mem_budget > 0) os << "mem_budget " << spec.mem_budget << "\n";
   for (std::size_t g = 0; g < spec.group_kind.size(); ++g) {
     os << "group " << spec.group_kind[g] << " " << spec.group_receivers[g]
        << "\n";
@@ -528,7 +574,9 @@ std::string serialize_spec(const ChaosSpec& spec) {
        << fmt_double(ev.wireless.loss_good) << " "
        << fmt_double(ev.wireless.loss_bad) << " "
        << fmt_double(ev.wireless.snr_depth) << " " << ev.wireless.snr_period
-       << " " << fmt_double(ev.wireless.snr_phase) << "\n";
+       << " " << fmt_double(ev.wireless.snr_phase) << " "
+       << fmt_double(ev.mem_fraction) << " "
+       << fmt_double(ev.alloc_fail_prob) << "\n";
   }
   for (const ChurnEvent& ev : spec.churn) {
     os << "churn " << ev.at << " " << ev.receiver << " " << (ev.join ? 1 : 0)
@@ -568,6 +616,8 @@ std::optional<ChaosSpec> parse_spec(const std::string& text) {
       ls >> s.data_stall_timeout;
     } else if (key == "join_batch_threshold") {
       ls >> s.join_batch_threshold;
+    } else if (key == "mem_budget") {
+      ls >> s.mem_budget;
     } else if (key == "hierarchy") {
       int h = 0;
       ls >> h;
@@ -595,7 +645,7 @@ std::optional<ChaosSpec> parse_spec(const std::string& text) {
           ev.disturb.dup_prob >> ev.disturb.corrupt_prob >>
           ev.disturb.control_loss_prob >> ev.disturb.jitter;
       if (ls.fail() || kind < 0 ||
-          kind > static_cast<int>(FaultKind::kWirelessStop)) {
+          kind > static_cast<int>(FaultKind::kAllocFailStop)) {
         return std::nullopt;
       }
       // Extension tail (reconvergence delay + wireless profile), absent
@@ -608,6 +658,15 @@ std::optional<ChaosSpec> parse_spec(const std::string& text) {
             ev.wireless.snr_depth >> ev.wireless.snr_period >>
             ev.wireless.snr_phase;
         if (ls.fail()) return std::nullopt;
+        // Second extension tail (memory-pressure axes): same
+        // all-or-nothing rule, nested — a line carrying it must carry
+        // both fields.
+        if (ls >> ev.mem_fraction) {
+          ls >> ev.alloc_fail_prob;
+          if (ls.fail()) return std::nullopt;
+        } else {
+          ls.clear();
+        }
       } else {
         ls.clear();
       }

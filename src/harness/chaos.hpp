@@ -72,6 +72,15 @@ struct ChaosSpec {
   /// feedback until failover, and eviction during that window would
   /// make the oracle test the generator, not the protocol.
   bool hierarchy = false;
+  /// Per-host memory budget in bytes (Scenario::mem_budget). Set by the
+  /// generator alongside mem-pressure / alloc-fail fault pairs; 0 keeps
+  /// the run accountant-free unless the plan itself contains mem fault
+  /// windows. Generated budgets are survivable by construction: the
+  /// full budget covers steady-state occupancy (send window + reassembly
+  /// + caches) with headroom, and only the paired squeeze window shrinks
+  /// the *effective* budget — so an oracle failure under memory pressure
+  /// is a degradation bug, never a scenario that asked the impossible.
+  std::uint64_t mem_budget = 0;
 
   [[nodiscard]] std::size_t receiver_count() const {
     std::size_t n = 0;
@@ -105,6 +114,16 @@ ChaosSpec generate_spec(std::uint64_t seed);
 /// cheaply (long blackouts are event-sparse).
 ChaosSpec generate_soak_spec(std::uint64_t seed);
 
+/// generate_spec plus a deterministically appended memory-pressure
+/// regime (chaos --mem): a per-host budget, one guaranteed squeeze
+/// window, and an optional alloc-fail window — so every seed in a mem
+/// sweep actually exercises the DESIGN.md §16 degradation paths instead
+/// of the ~2-in-13 category odds of the base generator. Forces
+/// EvictionPolicy::kStall: pressure-driven evictions silence feedback
+/// like loss does, and an eviction-policy NAK_ERR would make the oracle
+/// test the generator, not the protocol.
+ChaosSpec generate_mem_spec(std::uint64_t seed);
+
 /// Pure mapping onto the experiment harness. Trace capture is enabled
 /// (the oracle needs it for trace::verify).
 Scenario to_scenario(const ChaosSpec& spec);
@@ -119,9 +138,9 @@ ChaosVerdict judge(const ChaosSpec& spec);
 
 /// Sweeps seeds [start, start + count) through the oracle on a thread
 /// pool (ParallelRunner semantics: bit-identical per cell, results in
-/// input order).
+/// input order). `mem` swaps the generator for generate_mem_spec.
 std::vector<ChaosOutcome> sweep(std::uint64_t start, int count,
-                                unsigned threads = 0);
+                                unsigned threads = 0, bool mem = false);
 
 /// Self-contained text form ("hrmc-chaos-repro v1"). Doubles are
 /// printed round-trip exact, so parse(serialize(s)) replays the same

@@ -88,7 +88,12 @@ inline void accumulate_receiver_stats(RunResult& res,
   t.fec_packets_received += rs.fec_packets_received;
   t.fec_recoveries += rs.fec_recoveries;
   t.fec_stale_groups += rs.fec_stale_groups;
+  t.fec_decode_failures += rs.fec_decode_failures;
   t.stall_rejoins += rs.stall_rejoins;
+  t.alloc_fails += rs.alloc_fails;
+  t.ooo_evictions += rs.ooo_evictions;
+  t.fec_evictions += rs.fec_evictions;
+  t.repair_cache_evictions += rs.repair_cache_evictions;
 }
 
 }  // namespace hrmc::harness::detail

@@ -9,6 +9,8 @@
 #include "hrmc/receiver.hpp"
 #include "hrmc/sender.hpp"
 #include "hrmc/wire.hpp"
+#include "kern/mem.hpp"
+#include "kern/skbuff.hpp"
 #include "sim/scheduler.hpp"
 
 namespace hrmc::harness {
@@ -23,6 +25,34 @@ RunResult run_transfer(const Scenario& sc) {
   net::Topology topo(sched, sc.topo);
 
   const net::Endpoint group{kGroupAddr, kGroupPort};
+
+  kern::skbuff_peak_reset();  // per-run gauge window (RunResult)
+
+  // Memory accountant (DESIGN.md §16): installed only when the scenario
+  // sets a budget or the fault plan arms mem windows, so every other
+  // run is bit-identical to one that never heard of it. The failure
+  // RNG is a named substream and is NOT folded into rng_digest — a mem
+  // chaos run must replay against the same protocol schedule digest.
+  bool plan_has_mem_faults = false;
+  for (const net::FaultEvent& ev : sc.faults.events) {
+    if (ev.kind == net::FaultKind::kMemPressureStart ||
+        ev.kind == net::FaultKind::kAllocFailStart) {
+      plan_has_mem_faults = true;
+      break;
+    }
+  }
+  std::unique_ptr<kern::MemAccountant> mem;
+  if (sc.mem_budget > 0 || plan_has_mem_faults) {
+    mem = std::make_unique<kern::MemAccountant>(
+        sc.mem_budget, sim::substream_seed(sc.seed, "mem"));
+    topo.sender().set_mem_accountant(mem.get());
+    topo.sender().nic()->set_mem_admission(mem.get(), topo.sender().addr());
+    for (std::size_t i = 0; i < topo.receiver_count(); ++i) {
+      topo.receiver(i).set_mem_accountant(mem.get());
+      topo.receiver_nic(i).set_mem_admission(mem.get(),
+                                             topo.receiver(i).addr());
+    }
+  }
 
   // Observability: one shared ring; each component gets a sink stamped
   // with its host id (the trace.hpp convention).
@@ -100,15 +130,22 @@ RunResult run_transfer(const Scenario& sc) {
   // its own aggregate.
   std::vector<std::size_t> repairer_of_group(topo.group_count(),
                                              topo.receiver_count());
+  // A late joiner (join_at >= 0) must never be elected repairer: its
+  // group-mates' JOINs would target a socket that does not exist yet,
+  // and until it opens the sender gates releases on nobody in the
+  // subtree — the whole stream can be released past a healthy child
+  // that was simply wired to a parent the scenario hadn't born yet.
   if (sc.hierarchy.enabled) {
     if (!sc.hierarchy.repairers.empty()) {
       for (std::size_t r : sc.hierarchy.repairers) {
-        if (r >= topo.receiver_count() || modeled_of[r]) continue;
+        if (r >= topo.receiver_count() || modeled_of[r] || join_at[r] >= 0) {
+          continue;
+        }
         repairer_of_group[topo.receiver_group(r)] = r;
       }
     } else {
       for (std::size_t i = 0; i < topo.receiver_count(); ++i) {
-        if (modeled_of[i]) continue;
+        if (modeled_of[i] || join_at[i] >= 0) continue;
         std::size_t& slot = repairer_of_group[topo.receiver_group(i)];
         if (slot == topo.receiver_count()) slot = i;
       }
@@ -187,6 +224,7 @@ RunResult run_transfer(const Scenario& sc) {
       if (i < rcv_socks.size() && rcv_socks[i]) rcv_socks[i]->restart();
     };
     injector->control_classifier = &is_control_packet;
+    if (mem) injector->set_mem_accountant(mem.get());
     if (ring) {
       injector->set_trace(trace::TraceSink(ring.get(), &sched, 0));
     }
@@ -318,6 +356,16 @@ RunResult run_transfer(const Scenario& sc) {
       res.modeled_leaves += modeled_socks[i]->population();
     }
   }
+
+  if (mem) {
+    res.mem_peak_bytes = mem->peak_any_host();
+    res.mem_alloc_fails = mem->counters().alloc_fails;
+  }
+  res.mem_cache_evictions = res.receivers_total.ooo_evictions +
+                            res.receivers_total.fec_evictions +
+                            res.receivers_total.repair_cache_evictions;
+  res.skb_live_bytes_end = kern::skbuff_stats().live_bytes;
+  res.skb_peak_bytes = kern::skbuff_stats().peak_bytes;
 
   res.events_executed = sched.executed();
   res.sched_compactions = sched.compactions();

@@ -128,6 +128,14 @@ struct Scenario {
   /// Modeled receiver populations (empty = every slot is a real
   /// receiver — bit-identical to runs predating this field).
   std::vector<ModeledGroup> modeled;
+  /// Per-host memory budget in bytes (kern::MemAccountant, DESIGN.md
+  /// §16). 0 = no budget; an accountant is still installed when the
+  /// fault plan contains mem-pressure / alloc-fail windows (they need
+  /// one to act on). 0 with a mem-fault-free plan installs nothing —
+  /// bit-identical to runs predating this field. Legacy engine only:
+  /// the accountant is not sharding-aware, so sc.shard.enabled ignores
+  /// it.
+  std::uint64_t mem_budget = 0;
   TraceOptions trace;
   /// Sharded multi-core execution (off = legacy single scheduler,
   /// bit-identical to runs predating this field).
@@ -160,6 +168,15 @@ struct RunResult {
   int survivors_completed = 0;
   std::uint64_t evicted_count = 0;  ///< members evicted by the sender
   sim::SimTime stall_time = 0;      ///< window time blocked past hold
+
+  // Memory-pressure robustness (DESIGN.md §16). Zero unless a
+  // kern::MemAccountant was installed (Scenario::mem_budget or mem
+  // fault windows); the skbuff gauges are always live.
+  std::uint64_t mem_peak_bytes = 0;   ///< highest single-host ledger seen
+  std::uint64_t mem_alloc_fails = 0;  ///< accountant refusals, all hosts
+  std::uint64_t mem_cache_evictions = 0;  ///< ooo + fec + repair evictions
+  std::uint64_t skb_live_bytes_end = 0;   ///< skbuff bytes still referenced
+  std::uint64_t skb_peak_bytes = 0;       ///< skbuff high-water mark (run)
 
   // Observability output (TraceOptions). Empty unless enabled.
   std::vector<trace::TraceRecord> trace_records;  ///< time-ordered

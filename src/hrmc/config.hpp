@@ -164,6 +164,10 @@ struct Config {
   /// DATA payloads kept for answering child NAKs). Bounds repairer
   /// memory; older losses fall through to the sender as forwarded NAKs.
   std::size_t repair_cache_packets = 256;
+  /// Byte bound on the same cache, applied alongside the packet bound
+  /// (LRU eviction from the front). 0 = packet bound only (the default,
+  /// so existing runs are unchanged).
+  std::size_t repair_cache_bytes = 0;
   /// A registered child silent for this long is dropped from the
   /// repairer's aggregate (its leaves stop counting toward the subtree
   /// multiplicity; the sender's own tombstone machinery handles the
@@ -210,6 +214,16 @@ struct Config {
   sim::SimTime fec_adapt_interval = 0;
   /// Consecutive quiet epochs before the parity rate steps down.
   int fec_hysteresis_epochs = 2;
+
+  // --- Memory-pressure robustness (off unless the harness installs a
+  // kern::MemAccountant on the host; see DESIGN.md §16) ---
+  /// Sender alloc-retry backoff: after a refused payload allocation the
+  /// sender re-kicks the application from a timer whose period doubles
+  /// from alloc_retry_init up to alloc_retry_max jiffies, resetting on
+  /// the first successful allocation (capped exponential backoff, like
+  /// the kernel's __GFP_RETRY paths).
+  kern::Jiffies alloc_retry_init = 1;
+  kern::Jiffies alloc_retry_max = 64;
 
   /// Initial sequence number of every stream (both endpoints assume it;
   /// a production protocol would carry it in JOIN_RESPONSE). Configurable

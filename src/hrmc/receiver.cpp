@@ -135,9 +135,11 @@ void HrmcReceiver::crash() {
   crashed_ = true;
   stop();
   receive_queue_.clear();
+  mem_uncharge(kern::MemComponent::kReassembly, ooo_bytes_);
   out_of_order_queue_.clear();
   ooo_bytes_ = 0;
   nak_list_.clear();
+  mem_uncharge_fec_caches();
   fec_cache_.clear();
   fec_parity_cache_.clear();
   fec_fail_noted_ = false;
@@ -362,6 +364,11 @@ void HrmcReceiver::process_data(const Header& h, kern::SkBuffPtr skb) {
   }
   last_data_at_ = now;
 
+  // A squeeze window can push the ledger over the effective budget
+  // without any new charge (DESIGN.md §16): shed cached state before
+  // taking on more.
+  mem_relieve_pressure();
+
   Seq begin = h.seq;
   const Seq end = h.seq + h.length;
   if (h.fin) fin_seq_ = end;
@@ -469,8 +476,13 @@ void HrmcReceiver::insert_out_of_order(Seq begin, Seq end,
 void HrmcReceiver::insert_trimmed(Seq begin, Seq end, kern::SkBuffPtr skb,
                                   std::vector<OooSeg>::iterator at) {
   if (!seq_before(begin, end)) return;
+  const auto len = static_cast<std::size_t>(seq_diff(begin, end));
+  // Fallible allocation (DESIGN.md §16): a refused reassembly buffer is
+  // indistinguishable from losing the packet on the wire — the hole
+  // stays on the NAK clock and is re-fetched once memory frees.
+  if (!mem_charge(kern::MemComponent::kReassembly, len)) return;
   trace_.emit(trace::EventKind::kOooInsert, begin, end, ooo_bytes_);
-  ooo_bytes_ += static_cast<std::size_t>(seq_diff(begin, end));
+  ooo_bytes_ += len;
   nak_list_.fill(begin, end);
   out_of_order_queue_.insert(at, OooSeg{begin, end, std::move(skb)});
 }
@@ -479,7 +491,9 @@ void HrmcReceiver::drain_out_of_order() {
   auto it = out_of_order_queue_.begin();
   while (it != out_of_order_queue_.end() &&
          seq_before_eq(it->begin, rcv_nxt_)) {
-    ooo_bytes_ -= static_cast<std::size_t>(seq_diff(it->begin, it->end));
+    const auto len = static_cast<std::size_t>(seq_diff(it->begin, it->end));
+    ooo_bytes_ -= len;
+    mem_uncharge(kern::MemComponent::kReassembly, len);
     if (seq_after(it->end, rcv_nxt_)) {
       const auto overlap =
           static_cast<std::size_t>(seq_diff(it->begin, rcv_nxt_));
@@ -619,11 +633,18 @@ void HrmcReceiver::fec_cache_store(Seq begin,
   for (const FecCacheEntry& e : fec_cache_) {
     if (e.begin == begin) return;
   }
+  // Fallible allocation: an uncacheable shard only costs FEC its chance
+  // to decode this group — ARQ still recovers (fec_note_decode_fail).
+  if (!mem_charge(kern::MemComponent::kFecData, payload.size())) return;
   fec_cache_.push_back(
       FecCacheEntry{begin, {payload.begin(), payload.end()}});
   const std::size_t cap =
       std::max<std::size_t>(1, cfg_.fec_cache_groups * cfg_.fec_group);
-  while (fec_cache_.size() > cap) fec_cache_.pop_front();
+  while (fec_cache_.size() > cap) {
+    mem_uncharge(kern::MemComponent::kFecData,
+                 fec_cache_.front().bytes.size());
+    fec_cache_.pop_front();
+  }
 }
 
 const HrmcReceiver::FecCacheEntry* HrmcReceiver::fec_cache_find(
@@ -649,6 +670,7 @@ void HrmcReceiver::process_fec(const Header& h, kern::SkBuffPtr skb) {
   if (cfg_.fec_group == 0 || h.length == 0 || skb->size() != h.length) {
     return;
   }
+  mem_relieve_pressure();
   // The wire `rate` is the exact byte span covered: k full shards, or
   // k-1 full plus a short tail when the group was cut short at a
   // sub-MSS packet or end of stream.
@@ -677,11 +699,16 @@ void HrmcReceiver::fec_parity_store(Seq begin, std::uint32_t span,
   for (const FecParityEntry& e : fec_parity_cache_) {
     if (e.begin == begin && e.index == index) return;  // duplicate row
   }
+  if (!mem_charge(kern::MemComponent::kFecParity, payload.size())) return;
   fec_parity_cache_.push_back(
       FecParityEntry{begin, span, index, {payload.begin(), payload.end()}});
   const std::size_t cap =
       std::max<std::size_t>(1, cfg_.fec_cache_groups) * fec::kMaxParity;
-  while (fec_parity_cache_.size() > cap) fec_parity_cache_.pop_front();
+  while (fec_parity_cache_.size() > cap) {
+    mem_uncharge(kern::MemComponent::kFecParity,
+                 fec_parity_cache_.front().bytes.size());
+    fec_parity_cache_.pop_front();
+  }
 }
 
 void HrmcReceiver::fec_note_decode_fail(Seq begin, Seq span_end,
@@ -805,6 +832,89 @@ void HrmcReceiver::splice_reconstructed(Seq begin, kern::SkBuffPtr skb) {
 }
 
 // --------------------------------------------------------------------
+// Memory-pressure robustness (DESIGN.md §16)
+// --------------------------------------------------------------------
+
+bool HrmcReceiver::mem_charge(kern::MemComponent c, std::size_t bytes) {
+  kern::MemAccountant* mem = host_.mem_accountant();
+  if (mem == nullptr || bytes == 0) return true;
+  if (mem->try_charge(host_.addr(), c, bytes)) return true;
+  stats_.alloc_fails++;
+  trace_.emit(trace::EventKind::kAllocFail, rcv_nxt_, rcv_nxt_,
+              mem->live(host_.addr()), static_cast<std::uint32_t>(c));
+  return false;
+}
+
+void HrmcReceiver::mem_uncharge(kern::MemComponent c, std::size_t bytes) {
+  if (bytes == 0) return;
+  if (kern::MemAccountant* mem = host_.mem_accountant()) {
+    mem->uncharge(host_.addr(), c, bytes);
+  }
+}
+
+void HrmcReceiver::mem_uncharge_fec_caches() {
+  for (const FecCacheEntry& e : fec_cache_) {
+    mem_uncharge(kern::MemComponent::kFecData, e.bytes.size());
+  }
+  for (const FecParityEntry& e : fec_parity_cache_) {
+    mem_uncharge(kern::MemComponent::kFecParity, e.bytes.size());
+  }
+}
+
+void HrmcReceiver::mem_relieve_pressure() {
+  kern::MemAccountant* mem = host_.mem_accountant();
+  if (mem == nullptr) return;
+  const std::uint32_t self = host_.addr();
+  // Drain to a couple of MTUs *below* the line, never flush to it: a
+  // ledger pinned at the budget makes the NIC refuse every data frame,
+  // and refused frames can never trigger the pass that would unpin it.
+  const std::uint64_t slack = kern::kMemEvictHeadroomBytes;
+  if (mem->overage(self, slack) == 0) return;
+  // Cheapest first: cached FEC rows are pure optimization — dropping
+  // one costs at worst a NAK round trip the protocol already knows how
+  // to pay. Parity before data: a dropped parity row loses one repair
+  // opportunity, a dropped data shard can spoil its whole group.
+  while (mem->overage(self, slack) > 0 && !fec_parity_cache_.empty()) {
+    mem_uncharge(kern::MemComponent::kFecParity,
+                 fec_parity_cache_.front().bytes.size());
+    fec_parity_cache_.pop_front();
+    stats_.fec_evictions++;
+    trace_.emit(trace::EventKind::kCacheEvict, rcv_nxt_, rcv_nxt_,
+                mem->live(self),
+                static_cast<std::uint32_t>(kern::MemComponent::kFecParity));
+  }
+  while (mem->overage(self, slack) > 0 && !fec_cache_.empty()) {
+    mem_uncharge(kern::MemComponent::kFecData,
+                 fec_cache_.front().bytes.size());
+    fec_cache_.pop_front();
+    stats_.fec_evictions++;
+    trace_.emit(trace::EventKind::kCacheEvict, rcv_nxt_, rcv_nxt_,
+                mem->live(self),
+                static_cast<std::uint32_t>(kern::MemComponent::kFecData));
+  }
+  // Still over: give back reassembly state, farthest-from-delivery
+  // first (the bytes the stream needs last). Evicted ranges go straight
+  // back on the NAK list — eviction degrades to *loss*, recovered on
+  // the normal NAK clock, never to a hole the protocol forgot.
+  const sim::SimTime now = host_.scheduler().now();
+  bool evicted_ooo = false;
+  while (mem->overage(self, slack) > 0 && !out_of_order_queue_.empty()) {
+    OooSeg seg = std::move(out_of_order_queue_.back());
+    out_of_order_queue_.pop_back();
+    const auto len = static_cast<std::size_t>(seq_diff(seg.begin, seg.end));
+    ooo_bytes_ -= len;
+    mem_uncharge(kern::MemComponent::kReassembly, len);
+    stats_.ooo_evictions++;
+    trace_.emit(trace::EventKind::kCacheEvict, seg.begin, seg.end,
+                mem->live(self),
+                static_cast<std::uint32_t>(kern::MemComponent::kReassembly));
+    nak_list_.add_gap(seg.begin, seg.end, now);
+    evicted_ooo = true;
+  }
+  if (evicted_ooo) rearm_nak_timer();
+}
+
+// --------------------------------------------------------------------
 // Probes, keepalives, control responses
 // --------------------------------------------------------------------
 
@@ -853,6 +963,7 @@ void HrmcReceiver::process_join_response(const Header& h) {
       // straddles the new anchor can never be trusted (its pre-anchor
       // packets were lost with the crash).
       fec_anchor_ = h.seq;
+      mem_uncharge_fec_caches();
       fec_cache_.clear();
       fec_parity_cache_.clear();
       fec_fail_noted_ = false;
@@ -971,6 +1082,19 @@ void HrmcReceiver::send_control(std::uint32_t requested_rate, bool urgent) {
 }
 
 void HrmcReceiver::send_join() {
+  // A JOIN handshake that keeps timing out against a repair parent
+  // means the parent is dead or unreachable before we ever registered:
+  // fail over to the sender before burning the whole retry budget.
+  // Checked on every attempt — not only on the 0.5 s retry timer —
+  // because the RTO-paced fast retries in rx() can spend the entire
+  // failover budget between two timer ticks while the sender, gating
+  // its releases on nobody, runs the whole stream past us.
+  if (join_state_ == JoinState::kJoining && repair_parent_ != 0 &&
+      !repair_failed_over_ && sender_addr_ != 0 &&
+      join_tries_ >= cfg_.repair_failover_naks) {
+    repair_failed_over_ = true;
+    stats_.repair_failovers++;
+  }
   join_state_ = JoinState::kJoining;
   join_sent_at_ = host_.scheduler().now();
   ++join_tries_;
@@ -989,6 +1113,15 @@ void HrmcReceiver::send_join() {
 void HrmcReceiver::send_leave() {
   ++leave_tries_;
   emit(PacketType::kLeave, rcv_nxt_, 0, 0);
+  if (repair_parent_ != 0 && repair_failed_over_) {
+    // Mirror the LEAVE to the abandoned repair parent, the complement
+    // of the send_update mirror: a failed-over child that completes
+    // and departs before its first mirrored UPDATE would otherwise
+    // leave a frozen entry in the parent's child table — and under
+    // kStall (children never expire) that freezes the subtree minimum,
+    // deadlocking the sender's release gate on a ghost.
+    emit_to(repair_parent_, PacketType::kLeave, rcv_nxt_, 0, 0);
+  }
   const int shift = std::min(leave_tries_ - 1, kLeaveBackoffCap);
   join_timer_.mod_timer_in(kJoinRetryJiffies << shift);
 }
@@ -1034,6 +1167,11 @@ void HrmcReceiver::emit_to(net::Addr daddr, PacketType type, Seq seq,
 // --------------------------------------------------------------------
 
 void HrmcReceiver::nak_timer_fire() {
+  // Timer-driven shrinker pass: when the ledger is pinned at the
+  // budget the NIC refuses every data frame, so the arrival-driven
+  // relieve calls in process_data/process_fec never run — only the
+  // timers can break that cycle (DESIGN.md §16).
+  mem_relieve_pressure();
   const sim::SimTime now = host_.scheduler().now();
   for (const NakRange& r : nak_list_.due(now, nak_interval())) {
     send_nak(r);
@@ -1078,6 +1216,7 @@ void HrmcReceiver::maybe_stall_rejoin(sim::SimTime now) {
 }
 
 void HrmcReceiver::update_timer_fire() {
+  mem_relieve_pressure();  // arrival-independent shrinker pass, as above
   maybe_stall_rejoin(host_.scheduler().now());
   if (repair_) {
     // The repairer's periodic report is the aggregate, never its own
@@ -1108,15 +1247,6 @@ void HrmcReceiver::update_timer_fire() {
 }
 
 void HrmcReceiver::join_timer_fire() {
-  // A JOIN handshake that keeps timing out against a repair parent means
-  // the parent is dead or unreachable before we ever registered: fail
-  // over to the sender before burning the whole retry budget.
-  if (join_state_ == JoinState::kJoining && repair_parent_ != 0 &&
-      !repair_failed_over_ && sender_addr_ != 0 &&
-      join_tries_ >= cfg_.repair_failover_naks) {
-    repair_failed_over_ = true;
-    stats_.repair_failovers++;
-  }
   // Deferred repairer leave (see close()): retry until the children
   // have detached or the budget is spent, then leave for real.
   if (rehome_tries_ > 0 && join_state_ == JoinState::kJoined) {

@@ -34,6 +34,7 @@
 #include "hrmc/rtt.hpp"
 #include "hrmc/stats.hpp"
 #include "hrmc/wire.hpp"
+#include "kern/mem.hpp"
 #include "kern/timer.hpp"
 #include "net/host.hpp"
 #include "sim/random.hpp"
@@ -203,6 +204,23 @@ class HrmcReceiver final : public net::Transport {
 
   // Flow control (the three rules of §2).
   void check_flow_control(std::uint32_t advertised_rate);
+
+  // Memory-pressure robustness (DESIGN.md §16). All four are no-ops /
+  // infallible when the harness installed no kern::MemAccountant, so
+  // accountant-free runs are bit-identical to the pre-§16 protocol.
+  /// Charges `bytes` of component `c` against this host's ledger; a
+  /// refusal counts stats_.alloc_fails and emits kAllocFail.
+  bool mem_charge(kern::MemComponent c, std::size_t bytes);
+  void mem_uncharge(kern::MemComponent c, std::size_t bytes);
+  /// Returns every charged FEC cache byte to the ledger (crash/resync
+  /// clear both caches wholesale).
+  void mem_uncharge_fec_caches();
+  /// Eviction policy while the ledger sits over the effective budget
+  /// (a squeeze window shrinks the budget under bytes already held):
+  /// shed FEC parity rows, then FEC data shards, then the farthest
+  /// out-of-order segments — whose ranges go back on the NAK list, so
+  /// eviction degrades to loss, never to silent data loss.
+  void mem_relieve_pressure();
 
   // Feedback emission.
   void send_nak(const NakRange& r);

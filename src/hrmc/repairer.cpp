@@ -132,11 +132,49 @@ void RepairAgent::cache_data(const Header& h, const kern::SkBuffPtr& skb) {
       if (seq_before(it->begin, begin)) break;
     }
   }
+  // Fallible allocation (DESIGN.md §16): an uncached packet only means
+  // a child NAK for it forwards upstream — the pre-repairer path.
+  if (!owner_.mem_charge(kern::MemComponent::kRepairCache, h.length)) {
+    return;
+  }
   cache_.push_back(
       CacheEntry{begin, begin + h.length, h.fin, skb->clone()});
+  cache_bytes_ += h.length;
   while (cache_.size() > owner_.cfg_.repair_cache_packets) {
-    cache_.pop_front();
+    evict_front(/*traced=*/false);
   }
+  const std::size_t byte_cap = owner_.cfg_.repair_cache_bytes;
+  while (byte_cap > 0 && cache_bytes_ > byte_cap && !cache_.empty()) {
+    evict_front(/*traced=*/true);
+  }
+  // Budget squeeze: the ledger itself may sit over the effective line
+  // even though this charge fit under the full budget — shed LRU
+  // entries until the owner's ledger is back under (or the cache is
+  // empty and other components must give instead).
+  if (kern::MemAccountant* mem = owner_.host_.mem_accountant()) {
+    while (mem->overage(owner_.host_.addr(), kern::kMemEvictHeadroomBytes) >
+               0 &&
+           !cache_.empty()) {
+      evict_front(/*traced=*/true);
+    }
+  }
+}
+
+void RepairAgent::evict_front(bool traced) {
+  const CacheEntry& e = cache_.front();
+  const auto len = static_cast<std::size_t>(seq_diff(e.begin, e.end));
+  owner_.mem_uncharge(kern::MemComponent::kRepairCache, len);
+  cache_bytes_ -= std::min(cache_bytes_, len);
+  if (traced) {
+    owner_.stats_.repair_cache_evictions++;
+    owner_.trace_.emit(
+        trace::EventKind::kCacheEvict, e.begin, e.end,
+        owner_.host_.mem_accountant() != nullptr
+            ? owner_.host_.mem_accountant()->live(owner_.host_.addr())
+            : 0,
+        static_cast<std::uint32_t>(kern::MemComponent::kRepairCache));
+  }
+  cache_.pop_front();
 }
 
 void RepairAgent::send_repair(net::Addr child, const CacheEntry& e) {
@@ -246,7 +284,12 @@ void RepairAgent::flush_timer_fire() {
 
 void RepairAgent::clear() {
   children_.clear();
+  for (const CacheEntry& e : cache_) {
+    owner_.mem_uncharge(kern::MemComponent::kRepairCache,
+                        static_cast<std::size_t>(seq_diff(e.begin, e.end)));
+  }
   cache_.clear();
+  cache_bytes_ = 0;
   dirty_ = false;
   last_control_forward_ = -1;
   flush_timer_.del_timer();

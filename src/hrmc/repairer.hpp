@@ -64,6 +64,9 @@ class RepairAgent {
 
   [[nodiscard]] std::size_t child_count() const { return children_.size(); }
   [[nodiscard]] std::size_t cache_packets() const { return cache_.size(); }
+  /// Payload bytes held by the repair cache (bounded by
+  /// Config::repair_cache_bytes when nonzero, on top of the packet cap).
+  [[nodiscard]] std::size_t cache_bytes() const { return cache_bytes_; }
 
  private:
   struct Child {
@@ -85,6 +88,11 @@ class RepairAgent {
   /// member must hold the subtree minimum exactly as it would hold the
   /// sender's window (the paper's stall semantics, one level down).
   void expire_children(sim::SimTime now);
+  /// Drops the oldest cache entry (LRU front), returning its bytes to
+  /// the owner's memory ledger. `traced` marks byte-bound / pressure
+  /// evictions (kCacheEvict + stat); packet-cap pops stay silent, as
+  /// they always were.
+  void evict_front(bool traced);
   void send_repair(net::Addr child, const CacheEntry& e);
   /// Coalescing: child reports mark the aggregate dirty; at most one
   /// unsolicited AGG_UPDATE per jiffy goes upstream.
@@ -94,6 +102,7 @@ class RepairAgent {
   HrmcReceiver& owner_;
   std::unordered_map<net::Addr, Child> children_;
   std::deque<CacheEntry> cache_;
+  std::size_t cache_bytes_ = 0;
   kern::TimerList flush_timer_;
   bool dirty_ = false;
   /// Rate-limit for forwarded (non-urgent) child rate requests.

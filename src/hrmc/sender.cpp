@@ -7,6 +7,8 @@
 #include <limits>
 #include <vector>
 
+#include "kern/mem.hpp"
+
 namespace hrmc::proto {
 
 using kern::Seq;
@@ -31,6 +33,7 @@ HrmcSender::HrmcSender(net::Host& host, const Config& cfg,
       ka_timer_(host.scheduler(), [this] { keepalive_fire(); }),
       join_batch_timer_(host.scheduler(), [this] { join_batch_flush(); }),
       fec_adapt_timer_(host.scheduler(), [this] { fec_adapt_fire(); }),
+      alloc_retry_timer_(host.scheduler(), [this] { alloc_retry_fire(); }),
       ka_period_(cfg.keepalive_init),
       last_forward_send_(host.scheduler().now()) {
   snd_wnd_ = snd_nxt_ = snd_sent_ = cfg_.initial_seq;
@@ -72,6 +75,7 @@ void HrmcSender::stop() {
   ka_timer_.del_timer();
   join_batch_timer_.del_timer();
   fec_adapt_timer_.del_timer();
+  alloc_retry_timer_.del_timer();
 }
 
 // --------------------------------------------------------------------
@@ -103,6 +107,10 @@ std::size_t HrmcSender::send(std::span<const std::uint8_t> data) {
     const std::size_t take =
         std::min({data.size() - accepted, cfg_.mss, room_in_buf});
     if (take == 0) break;
+    // Fallible allocation: under memory pressure the new window block is
+    // refused and the application blocks exactly as on a full sndbuf —
+    // the backoff timer (or the next release) re-kicks it.
+    if (!charge_send_window()) break;
     TxRecord rec;
     rec.seq_begin = snd_nxt_;
     rec.seq_end = snd_nxt_ + static_cast<Seq>(take);
@@ -115,6 +123,38 @@ std::size_t HrmcSender::send(std::span<const std::uint8_t> data) {
   }
   if (accepted > 0) arm_transmit_timer();
   return accepted;
+}
+
+bool HrmcSender::charge_send_window() {
+  kern::MemAccountant* mem = host_.mem_accountant();
+  if (mem == nullptr) return true;
+  const net::Addr self = host_.addr();
+  if (mem->try_charge(self, kern::MemComponent::kSendWindow,
+                      window_block_bytes())) {
+    alloc_retry_period_ = 0;
+    return true;
+  }
+  stats_.alloc_fails++;
+  trace_.emit(trace::EventKind::kAllocFail, snd_nxt_, snd_nxt_,
+              mem->live(self),
+              static_cast<std::uint32_t>(kern::MemComponent::kSendWindow));
+  if (!alloc_retry_timer_.pending()) {
+    alloc_retry_period_ =
+        alloc_retry_period_ == 0
+            ? cfg_.alloc_retry_init
+            : std::min<kern::Jiffies>(alloc_retry_period_ * 2,
+                                      cfg_.alloc_retry_max);
+    alloc_retry_timer_.mod_timer_in(alloc_retry_period_);
+    stats_.alloc_stalls++;
+  }
+  return false;
+}
+
+void HrmcSender::alloc_retry_fire() {
+  // Pressure may have lifted (a fault window closed, a release freed
+  // ledger space): let the application try again. If the next charge is
+  // refused too, send() re-arms this timer with a doubled period.
+  if (on_writable) on_writable();
 }
 
 void HrmcSender::close() {
@@ -262,7 +302,22 @@ std::uint64_t HrmcSender::fec_flush() {
   const std::size_t plen =
       std::min<std::size_t>(cfg_.mss, static_cast<std::size_t>(fec_bytes_));
   std::uint64_t wire = 0;
+  kern::MemAccountant* mem = host_.mem_accountant();
   for (std::size_t j = 0; j < fec_parity_.size(); ++j) {
+    // Parity is an optimization, not a reliability obligation: a parity
+    // row whose transmit buffer cannot be allocated is skipped (along
+    // with the rest of the group's rows — pressure rarely lifts within
+    // one flush) and the ARQ path covers whatever it would have repaired.
+    if (mem != nullptr &&
+        !mem->admit(host_.addr(), plen + Header::kSize + 44)) {
+      stats_.fec_parity_skipped += fec_parity_.size() - j;
+      stats_.alloc_fails++;
+      trace_.emit(trace::EventKind::kAllocFail, fec_begin_,
+                  fec_begin_ + static_cast<Seq>(fec_bytes_),
+                  mem->live(host_.addr()),
+                  static_cast<std::uint32_t>(kern::MemComponent::kFecParity));
+      break;
+    }
     kern::SkBuffPtr skb = kern::SkBuff::alloc(plen, Header::kSize + 44);
     std::memcpy(skb->put(plen), fec_parity_[j].data(), plen);
     Header h;
@@ -491,6 +546,10 @@ void HrmcSender::try_advance_window() {
     }
     const std::size_t plen = payload_len(head);
     queued_bytes_ -= plen;
+    if (kern::MemAccountant* mem = host_.mem_accountant()) {
+      mem->uncharge(host_.addr(), kern::MemComponent::kSendWindow,
+                    window_block_bytes());
+    }
     snd_wnd_ = head.seq_end;
     trace_.emit(trace::EventKind::kRelease, head.seq_begin, head.seq_end,
                 queued_bytes_);

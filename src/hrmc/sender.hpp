@@ -206,6 +206,17 @@ class HrmcSender final : public net::Transport {
   void note_forward_activity();
   void maybe_report_finished();
 
+  // Memory-pressure degradation (DESIGN.md §16). A refused payload
+  // allocation is treated like a full send buffer — the application
+  // blocks and is re-kicked from a capped exponential-backoff timer
+  // (releases also fire on_writable, so recovery takes whichever
+  // happens first).
+  [[nodiscard]] std::size_t window_block_bytes() const {
+    return cfg_.mss + Header::kSize + 44;
+  }
+  bool charge_send_window();
+  void alloc_retry_fire();
+
   // Batched membership admission (flash crowds).
   void join_batch_flush();
 
@@ -319,6 +330,10 @@ class HrmcSender final : public net::Transport {
   kern::TimerList ka_timer_;
   kern::TimerList join_batch_timer_;
   kern::TimerList fec_adapt_timer_;
+  kern::TimerList alloc_retry_timer_;
+  /// Current backoff period; 0 until an allocation is refused, reset to
+  /// 0 by the next success.
+  kern::Jiffies alloc_retry_period_ = 0;
   kern::Jiffies ka_period_;
   sim::SimTime last_forward_send_ = 0;
 };

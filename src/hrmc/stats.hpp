@@ -73,6 +73,11 @@ struct SenderStats {
   std::uint64_t fec_parity_rate = 0;
   std::uint64_t fec_rate_increases = 0;
   std::uint64_t fec_rate_decreases = 0;
+
+  // Memory-pressure robustness (DESIGN.md §16)
+  std::uint64_t alloc_fails = 0;    ///< payload allocations refused
+  std::uint64_t alloc_stalls = 0;   ///< backoff retry timers armed
+  std::uint64_t fec_parity_skipped = 0;  ///< parity rows skipped under OOM
 };
 
 struct ReceiverStats {
@@ -121,6 +126,12 @@ struct ReceiverStats {
   /// needed sibling had been evicted from the cache): recovery falls
   /// back to the NAK path.
   std::uint64_t fec_decode_failures = 0;
+
+  // Memory-pressure robustness (DESIGN.md §16)
+  std::uint64_t alloc_fails = 0;     ///< charges refused at this receiver
+  std::uint64_t ooo_evictions = 0;   ///< reassembly segments evicted (re-NAKed)
+  std::uint64_t fec_evictions = 0;   ///< FEC cache entries evicted early
+  std::uint64_t repair_cache_evictions = 0;  ///< repairer LRU evictions
 };
 
 }  // namespace hrmc::proto

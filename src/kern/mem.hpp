@@ -1,0 +1,235 @@
+// Memory accountant: per-host byte budgets with deterministic
+// allocation-failure injection.
+//
+// The paper's protocol engine runs inside the Linux kernel, where every
+// alloc_skb in softirq context can fail and buffer memory is a hard
+// budget the sender's flow control exists to protect. This accountant
+// gives the simulation the same adversary: each simulated host owns a
+// byte ledger split by component (skbuff blocks, send window, receiver
+// reassembly, repairer payload cache, FEC data/parity caches, scheduler
+// slab), and every *fallible* allocation in the protocol goes through
+// try_charge(), which refuses when the ledger would exceed the
+// effective budget — or, while an alloc-failure fault window is armed,
+// probabilistically (GFP_ATOMIC-style) from a dedicated RNG substream.
+//
+// Determinism contract (same as the fault layer): an accountant with
+// budget 0 and fail probability 0 draws no randomness and refuses
+// nothing, and a run without an accountant installed is bit-identical
+// to one that never heard of this header. The Bernoulli stream is drawn
+// ONLY while a fault window holds fail_prob > 0, so arming a
+// mem-pressure (budget squeeze) window never perturbs any other draw.
+//
+// Invariant (enforced by construction, checked by trace::verify and the
+// chaos oracle): charges only ever enter a ledger through try_charge(),
+// which refuses rather than overshoot — live bytes per host NEVER
+// exceed the full budget. A squeeze window lowers the *effective*
+// budget below bytes already held; consumers observe the overage via
+// overage() and evict, but the ledger itself stays within the full
+// budget throughout.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/random.hpp"
+
+namespace hrmc::kern {
+
+/// What a charge is for. Stable numbering: trace kAllocFail/kCacheEvict
+/// records carry the component in their aux field.
+enum class MemComponent : std::uint8_t {
+  kSkb = 0,         ///< skbuff data blocks (wire packets in flight)
+  kSendWindow = 1,  ///< sender write-queue payload blocks
+  kReassembly = 2,  ///< receiver out-of-order reassembly segments
+  kRepairCache = 3, ///< repairer payload cache (hierarchical repair)
+  kFecData = 4,     ///< receiver FEC data-shard cache
+  kFecParity = 5,   ///< receiver FEC parity-row cache
+  kSchedSlab = 6,   ///< scheduler slab (sampled, not charged live)
+};
+inline constexpr std::size_t kMemComponentCount = 7;
+
+/// Rx frames at or below this wire size bypass the NIC admission probe:
+/// they model allocations from the driver's GFP_ATOMIC reserve pool,
+/// which exists precisely so the feedback that *frees* memory (ACKs,
+/// NAKs, UPDATEs — all far below this size) survives memory pressure.
+/// Without the reserve, a sender whose window charge has pinned its
+/// ledger at the budget would refuse every incoming UPDATE and deadlock:
+/// no UPDATE -> no release -> no uncharge -> no UPDATE. Full-size data
+/// frames never fit the reserve and stay fallible.
+inline constexpr std::size_t kMemRxReserveBytes = 256;
+
+/// Eviction passes drain a ledger to this many bytes *below* the
+/// effective budget, not flush to it. A ledger sitting exactly at the
+/// line makes the NIC admission probe refuse every full-size frame —
+/// and since frame arrival is one of the things that triggers the next
+/// eviction pass, a pinned ledger can wedge the run with the squeeze
+/// long gone. A couple of MTUs of slack keeps the rx path admitting
+/// while the caches refill.
+inline constexpr std::uint64_t kMemEvictHeadroomBytes = 4096;
+
+inline const char* mem_component_name(MemComponent c) {
+  switch (c) {
+    case MemComponent::kSkb: return "skb";
+    case MemComponent::kSendWindow: return "send_window";
+    case MemComponent::kReassembly: return "reassembly";
+    case MemComponent::kRepairCache: return "repair_cache";
+    case MemComponent::kFecData: return "fec_data";
+    case MemComponent::kFecParity: return "fec_parity";
+    case MemComponent::kSchedSlab: return "sched_slab";
+  }
+  return "?";
+}
+
+class MemAccountant {
+ public:
+  /// `budget_per_host` of 0 means unlimited (budget refusals off; only
+  /// the probabilistic fail path can then refuse). `rng_seed` should be
+  /// a named substream of the scenario seed — the stream is consumed
+  /// only while alloc_fail_prob > 0.
+  MemAccountant(std::uint64_t budget_per_host, std::uint64_t rng_seed)
+      : budget_(budget_per_host), rng_(rng_seed) {}
+
+  MemAccountant(const MemAccountant&) = delete;
+  MemAccountant& operator=(const MemAccountant&) = delete;
+
+  // --- fault-window controls (net::FaultInjector) ---
+
+  /// Budget-squeeze window: the effective budget becomes
+  /// budget * (1 - fraction). No-op while budget is unlimited.
+  void set_squeeze(double fraction) {
+    squeeze_ = std::clamp(fraction, 0.0, 0.95);
+  }
+  [[nodiscard]] double squeeze() const { return squeeze_; }
+
+  /// GFP_ATOMIC-style probabilistic failure: while p > 0 every fallible
+  /// charge/admission first draws Bernoulli(p) and refuses on success.
+  void set_alloc_fail_prob(double p) {
+    fail_prob_ = std::clamp(p, 0.0, 1.0);
+  }
+  [[nodiscard]] double alloc_fail_prob() const { return fail_prob_; }
+
+  [[nodiscard]] std::uint64_t budget() const { return budget_; }
+  [[nodiscard]] std::uint64_t effective_budget() const {
+    if (budget_ == 0) return 0;  // unlimited
+    const auto eff = static_cast<std::uint64_t>(
+        static_cast<double>(budget_) * (1.0 - squeeze_));
+    return std::max<std::uint64_t>(eff, 1);
+  }
+
+  // --- the fallible path ---
+
+  /// Charges `bytes` to host's ledger, or refuses (returning false,
+  /// charging nothing) when the Bernoulli failure fires or the ledger
+  /// would exceed the effective budget.
+  bool try_charge(std::uint32_t host, MemComponent c, std::uint64_t bytes) {
+    if (!admit_internal(host, bytes)) return false;
+    charge_unchecked(host, c, bytes);
+    return true;
+  }
+
+  /// Admission probe without a charge — the NIC rx path models "could
+  /// the driver alloc_skb this frame" and drops on refusal; the skb
+  /// memory itself is already accounted at its producer.
+  bool admit(std::uint32_t host, std::uint64_t bytes) {
+    return admit_internal(host, bytes);
+  }
+
+  void uncharge(std::uint32_t host, MemComponent c, std::uint64_t bytes) {
+    Ledger& l = ledgers_[host];
+    const std::size_t ci = static_cast<std::size_t>(c);
+    l.live -= std::min(l.live, bytes);
+    l.by_component[ci] -= std::min(l.by_component[ci], bytes);
+  }
+
+  // --- pressure probes (consumer eviction policies) ---
+
+  /// Bytes host holds beyond the effective budget (a squeeze window can
+  /// push a ledger past the *effective* line without any new charge);
+  /// 0 when under, or when unlimited. `headroom` lowers the drain target
+  /// below the effective line: evicting flush *to* the budget leaves the
+  /// NIC admission probe refusing every full-size frame, so shrinker
+  /// passes ask for overage(host, kMemEvictHeadroomBytes) instead.
+  [[nodiscard]] std::uint64_t overage(std::uint32_t host,
+                                      std::uint64_t headroom = 0) const {
+    if (budget_ == 0) return 0;
+    const auto it = ledgers_.find(host);
+    if (it == ledgers_.end()) return 0;
+    const std::uint64_t eff = effective_budget();
+    const std::uint64_t target = eff > headroom ? eff - headroom : 1;
+    return it->second.live > target ? it->second.live - target : 0;
+  }
+
+  [[nodiscard]] std::uint64_t live(std::uint32_t host) const {
+    const auto it = ledgers_.find(host);
+    return it == ledgers_.end() ? 0 : it->second.live;
+  }
+  [[nodiscard]] std::uint64_t peak(std::uint32_t host) const {
+    const auto it = ledgers_.find(host);
+    return it == ledgers_.end() ? 0 : it->second.peak;
+  }
+  [[nodiscard]] std::uint64_t component(std::uint32_t host,
+                                        MemComponent c) const {
+    const auto it = ledgers_.find(host);
+    if (it == ledgers_.end()) return 0;
+    return it->second.by_component[static_cast<std::size_t>(c)];
+  }
+  /// Highest single-host ledger ever observed (the invariant bound:
+  /// never exceeds budget() when a budget is set).
+  [[nodiscard]] std::uint64_t peak_any_host() const { return global_peak_; }
+
+  // --- counters ---
+
+  struct Counters {
+    std::uint64_t alloc_fails = 0;    ///< total refusals (either cause)
+    std::uint64_t budget_denials = 0; ///< refused: would exceed budget
+    std::uint64_t prob_denials = 0;   ///< refused: Bernoulli fired
+    std::uint64_t charges = 0;        ///< successful try_charge calls
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Folded end-state of the failure-injection stream.
+  [[nodiscard]] std::uint64_t rng_digest() const { return rng_.digest(); }
+
+ private:
+  struct Ledger {
+    std::uint64_t live = 0;
+    std::uint64_t peak = 0;
+    std::uint64_t by_component[kMemComponentCount] = {};
+  };
+
+  bool admit_internal(std::uint32_t host, std::uint64_t bytes) {
+    if (fail_prob_ > 0.0 && rng_.chance(fail_prob_)) {
+      ++counters_.prob_denials;
+      ++counters_.alloc_fails;
+      return false;
+    }
+    const std::uint64_t eff = effective_budget();
+    if (eff > 0 && live(host) + bytes > eff) {
+      ++counters_.budget_denials;
+      ++counters_.alloc_fails;
+      return false;
+    }
+    return true;
+  }
+
+  void charge_unchecked(std::uint32_t host, MemComponent c,
+                        std::uint64_t bytes) {
+    Ledger& l = ledgers_[host];
+    l.live += bytes;
+    l.by_component[static_cast<std::size_t>(c)] += bytes;
+    if (l.live > l.peak) l.peak = l.live;
+    if (l.live > global_peak_) global_peak_ = l.live;
+    ++counters_.charges;
+  }
+
+  std::uint64_t budget_;
+  double squeeze_ = 0.0;
+  double fail_prob_ = 0.0;
+  std::uint64_t global_peak_ = 0;
+  Counters counters_;
+  std::unordered_map<std::uint32_t, Ledger> ledgers_;
+  sim::Rng rng_;
+};
+
+}  // namespace hrmc::kern

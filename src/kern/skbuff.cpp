@@ -161,12 +161,18 @@ SkbBlock* skb_block_acquire(std::size_t cap) {
   // dedicated allocation — the pool is invisible to protocol code.
   b->cap = cap;
   b->next_free = nullptr;
+  pool.stats.live_bytes += cap;
+  if (pool.stats.live_bytes > pool.stats.peak_bytes) {
+    pool.stats.peak_bytes = pool.stats.live_bytes;
+  }
   return b;
 }
 
 void skb_block_release(SkbBlock* b) {
   if (--b->refs != 0) return;
   Pool& pool = g_pool;
+  pool.stats.live_bytes -=
+      b->cap <= pool.stats.live_bytes ? b->cap : pool.stats.live_bytes;
   const std::uint32_t k = b->klass;
   if (k == kUnpooled || pool.cached_count[k] >= kMaxCachedPerClass) {
     raw_block_delete(b);
@@ -182,6 +188,10 @@ void skb_block_release(SkbBlock* b) {
 const SkBuffStats& skbuff_stats() { return g_pool.stats; }
 
 void skbuff_stats_reset() { g_pool.stats = SkBuffStats{}; }
+
+void skbuff_peak_reset() {
+  g_pool.stats.peak_bytes = g_pool.stats.live_bytes;
+}
 
 std::size_t skbuff_pool_cached() {
   std::size_t total = 0;

@@ -43,11 +43,23 @@ struct SkBuffStats {
   std::uint64_t pool_hits = 0;     ///< blocks recycled from the free list
   std::uint64_t clones = 0;        ///< O(1) clone() calls
   std::uint64_t cow_copies = 0;    ///< writes that had to unshare a block
+  // Live/peak gauges over *requested* block bytes (acquire adds cap,
+  // the final release subtracts it — clones share, so a fan-out of N
+  // views counts its block once). Reset zeroes both, so peak_bytes is
+  // peak-since-reset like the counters above.
+  std::uint64_t live_bytes = 0;  ///< bytes in blocks currently referenced
+  std::uint64_t peak_bytes = 0;  ///< high-water mark of live_bytes
 };
 
 /// This thread's pool counters (monotone; see skbuff_stats_reset).
 [[nodiscard]] const SkBuffStats& skbuff_stats();
 void skbuff_stats_reset();
+
+/// Re-baselines peak_bytes to the current live_bytes without touching
+/// the monotone counters: run_transfer opens a per-run gauge window so
+/// RunResult::skb_peak_bytes means "this run's high-water mark" even
+/// when many runs share the thread (bench sweeps).
+void skbuff_peak_reset();
 
 /// Blocks currently cached in this thread's free lists.
 [[nodiscard]] std::size_t skbuff_pool_cached();

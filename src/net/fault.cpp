@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "kern/mem.hpp"
 #include "sim/random.hpp"
 
 namespace hrmc::net {
@@ -149,6 +150,32 @@ FaultPlan& FaultPlan::wireless(std::size_t group, sim::SimTime at,
 
 FaultPlan& FaultPlan::wireless_stop(std::size_t group, sim::SimTime at) {
   events.push_back(make_event(FaultKind::kWirelessStop, at, group));
+  return *this;
+}
+
+FaultPlan& FaultPlan::mem_pressure(std::size_t group, sim::SimTime at,
+                                   double fraction) {
+  FaultEvent ev = make_event(FaultKind::kMemPressureStart, at, group);
+  ev.mem_fraction = fraction;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::mem_pressure_stop(std::size_t group, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kMemPressureStop, at, group));
+  return *this;
+}
+
+FaultPlan& FaultPlan::alloc_fail(std::size_t group, sim::SimTime at,
+                                 double prob) {
+  FaultEvent ev = make_event(FaultKind::kAllocFailStart, at, group);
+  ev.alloc_fail_prob = prob;
+  events.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::alloc_fail_stop(std::size_t group, sim::SimTime at) {
+  events.push_back(make_event(FaultKind::kAllocFailStop, at, group));
   return *this;
 }
 
@@ -354,6 +381,22 @@ void FaultInjector::fire(const FaultEvent& ev) {
         topo_->receiver_nic(i).clear_wireless_loss();
       }
       counters_.inc("wireless_stops");
+      break;
+    case FaultKind::kMemPressureStart:
+      if (mem_ != nullptr) mem_->set_squeeze(ev.mem_fraction);
+      counters_.inc("mem_pressure_starts");
+      break;
+    case FaultKind::kMemPressureStop:
+      if (mem_ != nullptr) mem_->set_squeeze(0.0);
+      counters_.inc("mem_pressure_stops");
+      break;
+    case FaultKind::kAllocFailStart:
+      if (mem_ != nullptr) mem_->set_alloc_fail_prob(ev.alloc_fail_prob);
+      counters_.inc("alloc_fail_starts");
+      break;
+    case FaultKind::kAllocFailStop:
+      if (mem_ != nullptr) mem_->set_alloc_fail_prob(0.0);
+      counters_.inc("alloc_fail_stops");
       break;
   }
 }

@@ -27,6 +27,10 @@
 #include "sim/stats.hpp"
 #include "trace/trace.hpp"
 
+namespace hrmc::kern {
+class MemAccountant;
+}  // namespace hrmc::kern
+
 namespace hrmc::net {
 
 enum class FaultKind {
@@ -60,6 +64,13 @@ enum class FaultKind {
   kTrunkUp,          ///< trunk repaired; router reconverges for `delay`
   kWirelessStart,    ///< 802.11-style wireless loss on the group's NICs
   kWirelessStop,
+
+  // Memory-pressure events (no-ops unless the harness installed a
+  // kern::MemAccountant). Appended, like above: wire-format stable.
+  kMemPressureStart, ///< squeeze effective budgets to (1 - mem_fraction)
+  kMemPressureStop,
+  kAllocFailStart,   ///< GFP_ATOMIC-style Bernoulli allocation failure
+  kAllocFailStop,
 };
 
 struct FaultEvent {
@@ -73,6 +84,8 @@ struct FaultEvent {
   /// kTrunkUp only: route-reconvergence window after the trunk returns.
   sim::SimTime delay = 0;
   WirelessLossConfig wireless;  ///< kWirelessStart only
+  double mem_fraction = 0.0;      ///< kMemPressureStart: budget cut [0,0.95]
+  double alloc_fail_prob = 0.0;   ///< kAllocFailStart: Bernoulli fail prob
 };
 
 /// Declarative event list. The chainable builders exist so scenarios
@@ -112,6 +125,14 @@ struct FaultPlan {
   FaultPlan& wireless(std::size_t group, sim::SimTime at,
                       const WirelessLossConfig& wl);
   FaultPlan& wireless_stop(std::size_t group, sim::SimTime at);
+  /// Budget squeeze: effective per-host budgets become
+  /// budget * (1 - fraction) until the matching stop. Group-targeted
+  /// for plan validation; the accountant itself is cell-global.
+  FaultPlan& mem_pressure(std::size_t group, sim::SimTime at,
+                          double fraction);
+  FaultPlan& mem_pressure_stop(std::size_t group, sim::SimTime at);
+  FaultPlan& alloc_fail(std::size_t group, sim::SimTime at, double prob);
+  FaultPlan& alloc_fail_stop(std::size_t group, sim::SimTime at);
 
   /// Flap schedules (per-link and per-trunk): `count` down/up pairs,
   /// the k-th going down at `start + k*period` and returning `down_time`
@@ -157,6 +178,10 @@ class FaultInjector {
   /// router_host(g)).
   void set_trace(trace::TraceSink sink) { trace_ = sink; }
 
+  /// Attaches the cell's memory accountant; without one the mem-pressure
+  /// and alloc-fail events are no-ops (counted, applying nothing).
+  void set_mem_accountant(kern::MemAccountant* mem) { mem_ = mem; }
+
  private:
   void fire(const FaultEvent& ev);
   Disturber& disturber(std::size_t group);
@@ -165,6 +190,7 @@ class FaultInjector {
 
   sim::Scheduler* sched_;
   Topology* topo_;
+  kern::MemAccountant* mem_ = nullptr;
   FaultPlan plan_;
   std::uint64_t seed_;
   bool armed_ = false;

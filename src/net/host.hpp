@@ -79,7 +79,14 @@ class Host final : public PacketSink {
   [[nodiscard]] sim::Scheduler& scheduler() { return *sched_; }
   [[nodiscard]] Nic* nic() { return nic_; }
 
+  /// Cell-wide memory accountant, or nullptr (the default: allocation is
+  /// infallible, exactly as before the accountant existed). Protocol
+  /// code charges its buffer state against this host's addr() ledger.
+  void set_mem_accountant(kern::MemAccountant* mem) { mem_ = mem; }
+  [[nodiscard]] kern::MemAccountant* mem_accountant() const { return mem_; }
+
  private:
+  kern::MemAccountant* mem_ = nullptr;
   sim::Scheduler* sched_;
   Cpu cpu_;
   std::string name_;

@@ -1,5 +1,7 @@
 #include "net/nic.hpp"
 
+#include "kern/mem.hpp"
+
 namespace hrmc::net {
 
 Nic::Nic(sim::Scheduler& sched, std::string name, NicConfig cfg,
@@ -91,6 +93,19 @@ void Nic::deliver(kern::SkBuffPtr skb) {
     counters_.inc("wireless_drops");
     trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
                 static_cast<std::uint32_t>(trace::DropReason::kWireless));
+    return;
+  }
+  // The frame survived the channel; now the driver must alloc_skb for
+  // it. Under memory pressure that can fail — the packet is lost at the
+  // card, indistinguishable from wire loss to the protocol above.
+  // Control-sized frames allocate from the GFP_ATOMIC reserve and
+  // always succeed (see kern::kMemRxReserveBytes): dropping the
+  // feedback that frees memory would turn pressure into deadlock.
+  if (mem_ != nullptr && skb->wire_size() > kern::kMemRxReserveBytes &&
+      !mem_->admit(mem_host_, skb->wire_size())) {
+    counters_.inc("mem_drops");
+    trace_.emit(trace::EventKind::kDrop, 0, 0, skb->wire_size(),
+                static_cast<std::uint32_t>(trace::DropReason::kNoMem));
     return;
   }
   // Adversarial disturbances (chaos engine): applied after the loss

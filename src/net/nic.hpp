@@ -23,6 +23,10 @@
 #include "sim/stats.hpp"
 #include "trace/trace.hpp"
 
+namespace hrmc::kern {
+class MemAccountant;
+}  // namespace hrmc::kern
+
 namespace hrmc::net {
 
 struct NicConfig {
@@ -123,6 +127,15 @@ class Nic final : public PacketSink {
   /// Attaches a trace sink reporting drops and tx-ring exhaustion.
   void set_trace(trace::TraceSink sink) { trace_ = sink; }
 
+  /// Memory-pressure admission on the receive path: when an accountant
+  /// is installed, every arriving packet models the driver's alloc_skb
+  /// against `host_key`'s ledger and is dropped (DropReason::kNoMem) on
+  /// refusal — a loss the protocol's NAK path already recovers from.
+  void set_mem_admission(kern::MemAccountant* mem, std::uint32_t host_key) {
+    mem_ = mem;
+    mem_host_ = host_key;
+  }
+
   /// Folded end-state of every RNG this NIC owns (Bernoulli loss, burst
   /// loss, wireless fade, disturber) — part of RunResult::rng_digest.
   [[nodiscard]] std::uint64_t rng_digest() const {
@@ -151,6 +164,8 @@ class Nic final : public PacketSink {
   std::optional<GilbertElliott> burst_loss_;
   std::optional<WirelessLoss> wireless_loss_;
   std::optional<Disturber> disturb_;
+  kern::MemAccountant* mem_ = nullptr;
+  std::uint32_t mem_host_ = 0;
   ControlClassifier classify_control_ = nullptr;
   std::int64_t burst_jiffy_ = -1;
   std::size_t burst_count_ = 0;

@@ -91,6 +91,14 @@ enum class EventKind : std::uint8_t {
   kDeviceFull = 42,  ///< tx ring / egress queue full; aux = queue len
   kCorrupt = 43,     ///< packet corrupted in flight; value = wire size
 
+  // Memory pressure (kern::MemAccountant consumers). value = the
+  // emitting host's ledger live bytes at/after the event — the budget
+  // invariant (trace::verify --mem) checks value <= budget on both.
+  kAllocFail = 44,   ///< fallible allocation refused; [seq range) if any,
+                     ///< aux = kern::MemComponent
+  kCacheEvict = 45,  ///< cache entry evicted under pressure; [seq range)
+                     ///< evicted, aux = kern::MemComponent
+
   // Fault layer (net::FaultInjector).
   kDown = 50,  ///< target went down; aux = FaultKind
   kUp = 51,    ///< target came back; aux = FaultKind
@@ -110,6 +118,7 @@ enum class DropReason : std::uint32_t {
   kControlLoss = 9, ///< control-plane-only loss (chaos disturbance)
   kWireless = 10,   ///< 802.11-style correlated fade (WirelessLoss)
   kReconverging = 11,  ///< blackholed while the router recomputes routes
+  kNoMem = 12,         ///< rx admission refused by the memory accountant
 };
 
 /// Stable name for a kind (JSONL dump / debugging). "?" when unknown.

@@ -53,6 +53,8 @@ const char* kind_name(EventKind k) {
     case EventKind::kDrop: return "drop";
     case EventKind::kDeviceFull: return "device_full";
     case EventKind::kCorrupt: return "corrupt";
+    case EventKind::kAllocFail: return "alloc_fail";
+    case EventKind::kCacheEvict: return "cache_evict";
     case EventKind::kDown: return "down";
     case EventKind::kUp: return "up";
   }
@@ -347,6 +349,20 @@ class Verifier {
         break;
       case EventKind::kSend:
         if (opt_.check_rate) account_send(r);
+        break;
+      case EventKind::kAllocFail:
+      case EventKind::kCacheEvict:
+        // Budget safety (invariant 4): the record's value field is the
+        // emitting host's ledger live bytes at/after the event.
+        if (opt_.check_mem && opt_.mem_budget > 0) {
+          ++res_.mem_checked;
+          if (r.value > opt_.mem_budget) {
+            violate(r, "ledger live " + std::to_string(r.value) +
+                           " bytes exceeds the per-host budget " +
+                           std::to_string(opt_.mem_budget) +
+                           " (component " + std::to_string(r.aux) + ")");
+          }
+        }
         break;
       case EventKind::kUrgentStop:
         stop_until_ =

@@ -41,6 +41,14 @@ struct VerifyOptions {
   bool check_release = true;
   bool check_nak = true;
   bool check_rate = true;
+  /// Invariant 4, budget safety (DESIGN.md §16): every kAllocFail /
+  /// kCacheEvict record carries the emitting host's ledger live bytes
+  /// in its value field; none may exceed mem_budget. The accountant
+  /// enforces this by construction (try_charge refuses rather than
+  /// overshoot), so a violation means a consumer bypassed try_charge
+  /// or forgot an uncharge. mem_budget == 0 skips the check.
+  bool check_mem = true;
+  std::uint64_t mem_budget = 0;
   /// Invariant 2's answer deadline, first NAK emission to sender
   /// response. Generous by default: it is a liveness floor, not a
   /// latency SLO.
@@ -60,6 +68,7 @@ struct VerifyResult {
   std::uint64_t releases_checked = 0;
   std::uint64_t naks_checked = 0;
   std::uint64_t sends_checked = 0;
+  std::uint64_t mem_checked = 0;  ///< kAllocFail/kCacheEvict records seen
 };
 
 /// Replays `records` (must be in time order, as TraceRing::records()

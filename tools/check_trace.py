@@ -4,7 +4,7 @@
 Usage:
     trace_dump | check_trace.py [--bound SECONDS]
                                 [--no-release] [--no-nak] [--no-rate]
-                                [--no-progress]
+                                [--no-progress] [--mem-budget BYTES]
     check_trace.py trace.jsonl
 
 An independent (stdlib-only) implementation of the same three
@@ -25,6 +25,12 @@ trace_dump (or trace::write_jsonl) emits:
      the sender's release head never regresses at all.  Regression on
      either side is silent state drift — exactly the corruption a
      restart or a flap-window race would introduce.
+  5. Budget safety (--mem-budget BYTES, DESIGN.md §16): every
+     alloc_fail / cache_evict record carries the emitting host's memory
+     ledger (live bytes) in its value field; none may exceed the
+     per-host budget.  The accountant enforces this by construction, so
+     a violation means some consumer bypassed try_charge or forgot an
+     uncharge.  Off by default (budget 0).
 
 Running both implementations over one trace in CI cross-checks them;
 they were written from the record-semantics table in DESIGN.md, not
@@ -69,15 +75,17 @@ def smax(a, b):
 
 class Checker:
     def __init__(self, bound_ns, check_release, check_nak, check_rate,
-                 check_progress=True):
+                 check_progress=True, mem_budget=0):
         self.bound_ns = bound_ns
         self.check_release = check_release
         self.check_nak = check_nak
         self.check_rate = check_rate
         self.check_progress = check_progress
+        self.mem_budget = mem_budget
         self.violations = []
         self.releases = self.naks = self.sends = 0
         self.progress_checks = 0
+        self.mem_checks = 0
 
         self.rcv = {}  # host -> [armed, exempt, high]
         self.addr_to_host = {}
@@ -295,6 +303,16 @@ class Checker:
                 self.account_send(r)
         elif k == "urgent_stop":
             self.stop_until = max(self.stop_until, r["value"])
+        elif k in ("alloc_fail", "cache_evict"):
+            # value = emitting host's ledger live bytes, aux = the
+            # MemComponent charged/evicted.
+            if self.mem_budget > 0:
+                self.mem_checks += 1
+                if r["value"] > self.mem_budget:
+                    self.violate(r, "ledger live {} bytes exceeds the "
+                                 "per-host budget {} (component {})".format(
+                                     r["value"], self.mem_budget,
+                                     r.get("aux", 0)))
         elif k == "release":
             if self.check_progress:
                 # The sender never re-anchors: its release head is
@@ -337,11 +355,14 @@ def main():
     ap.add_argument("--no-nak", action="store_true")
     ap.add_argument("--no-rate", action="store_true")
     ap.add_argument("--no-progress", action="store_true")
+    ap.add_argument("--mem-budget", type=int, default=0,
+                    help="per-host memory budget in bytes for invariant 5"
+                         " (default 0 = skip)")
     args = ap.parse_args()
 
     c = Checker(int(args.bound * 1e9), not args.no_release,
                 not args.no_nak, not args.no_rate,
-                not args.no_progress)
+                not args.no_progress, args.mem_budget)
     stream = open(args.trace, encoding="utf-8") if args.trace else sys.stdin
     n = 0
     last_t = 0
@@ -358,9 +379,9 @@ def main():
         c.finish(last_t)
 
     print("check_trace: {} records, {} releases / {} naks / {} sends / "
-          "{} progress checked, {} violations".format(
+          "{} progress / {} mem checked, {} violations".format(
               n, c.releases, c.naks, c.sends, c.progress_checks,
-              len(c.violations)))
+              c.mem_checks, len(c.violations)))
     for v in c.violations[:32]:
         print("violation: " + v, file=sys.stderr)
     return 1 if c.violations else 0
